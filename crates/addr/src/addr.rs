@@ -1,0 +1,605 @@
+//! The [`Addr`] type: a 128-bit IPv6 address.
+
+use crate::ParseError;
+use std::fmt;
+use std::net::Ipv6Addr;
+use std::str::FromStr;
+
+/// A 128-bit IPv6 address.
+///
+/// Internally a big-endian-interpreted `u128`: bit 0 is the most
+/// significant bit of the address (the first bit on the wire), matching the
+/// prefix-length convention, so `addr.bit(0)` is the top bit of the first
+/// hextet. This orientation makes prefix arithmetic (`common_prefix_len`,
+/// masking, trie descent) a matter of plain shifts.
+///
+/// ```
+/// use v6census_addr::Addr;
+/// let a: Addr = "2001:db8::1".parse().unwrap();
+/// assert_eq!(a.segment(0), 0x2001);
+/// assert_eq!(a.nybble(0), 0x2);
+/// assert_eq!(a.bit(0), 0); // 0x2001 starts with binary 0010...
+/// assert_eq!(a.bit(2), 1);
+/// assert_eq!(a.to_string(), "2001:db8::1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u128);
+
+impl Addr {
+    /// The unspecified address `::`.
+    pub const UNSPECIFIED: Addr = Addr(0);
+    /// The loopback address `::1`.
+    pub const LOCALHOST: Addr = Addr(1);
+
+    /// Builds an address from eight 16-bit segments, first segment most
+    /// significant (the order they are written in presentation format).
+    pub const fn from_segments(s: [u16; 8]) -> Addr {
+        let mut v: u128 = 0;
+        let mut i = 0;
+        while i < 8 {
+            v = (v << 16) | s[i] as u128;
+            i += 1;
+        }
+        Addr(v)
+    }
+
+    /// Builds an address from 16 bytes, most significant first.
+    pub const fn from_bytes(b: [u8; 16]) -> Addr {
+        Addr(u128::from_be_bytes(b))
+    }
+
+    /// Returns the address as 16 bytes, most significant first.
+    pub const fn to_bytes(self) -> [u8; 16] {
+        self.0.to_be_bytes()
+    }
+
+    /// Returns the eight 16-bit segments, most significant first.
+    pub const fn segments(self) -> [u16; 8] {
+        let v = self.0;
+        [
+            (v >> 112) as u16,
+            (v >> 96) as u16,
+            (v >> 80) as u16,
+            (v >> 64) as u16,
+            (v >> 48) as u16,
+            (v >> 32) as u16,
+            (v >> 16) as u16,
+            v as u16,
+        ]
+    }
+
+    /// Returns 16-bit segment `i` (0..8), segment 0 most significant.
+    ///
+    /// # Panics
+    /// Panics if `i >= 8`.
+    pub const fn segment(self, i: usize) -> u16 {
+        assert!(i < 8, "segment index out of range");
+        (self.0 >> (112 - 16 * i)) as u16
+    }
+
+    /// Returns nybble (hex character) `i` (0..32), nybble 0 most significant.
+    ///
+    /// # Panics
+    /// Panics if `i >= 32`.
+    pub const fn nybble(self, i: usize) -> u8 {
+        assert!(i < 32, "nybble index out of range");
+        ((self.0 >> (124 - 4 * i)) & 0xf) as u8
+    }
+
+    /// Returns bit `i` (0..128) as 0 or 1; bit 0 is the most significant.
+    ///
+    /// # Panics
+    /// Panics if `i >= 128`.
+    pub const fn bit(self, i: usize) -> u8 {
+        assert!(i < 128, "bit index out of range");
+        ((self.0 >> (127 - i)) & 1) as u8
+    }
+
+    /// Returns a copy with bit `i` set to `v` (0 or 1); bit 0 is the most
+    /// significant.
+    ///
+    /// # Panics
+    /// Panics if `i >= 128`.
+    pub const fn with_bit(self, i: usize, v: u8) -> Addr {
+        assert!(i < 128, "bit index out of range");
+        let mask = 1u128 << (127 - i);
+        if v == 0 {
+            Addr(self.0 & !mask)
+        } else {
+            Addr(self.0 | mask)
+        }
+    }
+
+    /// The high 64 bits: the canonical network identifier (subnet prefix)
+    /// under /64 addressing.
+    pub const fn network_bits(self) -> u64 {
+        (self.0 >> 64) as u64
+    }
+
+    /// The low 64 bits: the interface identifier under /64 addressing.
+    pub const fn iid_bits(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Keeps the first `len` bits and zeroes the rest.
+    ///
+    /// # Panics
+    /// Panics if `len > 128`.
+    pub const fn mask(self, len: u8) -> Addr {
+        assert!(len <= 128, "prefix length out of range");
+        if len == 0 {
+            Addr(0)
+        } else {
+            Addr(self.0 & (u128::MAX << (128 - len as u32)))
+        }
+    }
+
+    /// Length of the longest common prefix of `self` and `other`, in bits
+    /// (0..=128).
+    pub const fn common_prefix_len(self, other: Addr) -> u8 {
+        (self.0 ^ other.0).leading_zeros() as u8
+    }
+
+    /// Interprets segments 1..3 (bits 16–48) as an embedded IPv4 address,
+    /// as in 6to4 (`2002:AABB:CCDD::/48`).
+    pub const fn v4_in_6to4(self) -> [u8; 4] {
+        let v = (self.0 >> 80) as u32;
+        v.to_be_bytes()
+    }
+
+    /// Interprets the low 32 bits as an embedded IPv4 address, as in
+    /// ISATAP and many ad hoc schemes.
+    pub const fn v4_in_low32(self) -> [u8; 4] {
+        (self.0 as u32).to_be_bytes()
+    }
+
+    /// Conversion to the standard library type (used in tests as a parsing
+    /// and formatting oracle, and by callers doing real I/O).
+    pub const fn to_std(self) -> Ipv6Addr {
+        Ipv6Addr::from_bits(self.0)
+    }
+
+    /// Conversion from the standard library type.
+    pub const fn from_std(a: Ipv6Addr) -> Addr {
+        Addr(a.to_bits())
+    }
+
+    /// Formats the address as 32 lower-case hex characters with no
+    /// separators — the fixed-width form used by the sort-based aggregate
+    /// counter (paper footnote 3: `sort | cut -c1-$((p/4)) | uniq -c`).
+    pub fn to_fixed_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Formats the address as its reverse-DNS pointer name under
+    /// `ip6.arpa` (RFC 3596 §2.5): 32 nybbles in reverse order,
+    /// dot-separated, e.g. `1.0.0.0…8.b.d.0.1.0.0.2.ip6.arpa`.
+    pub fn to_ip6_arpa(self) -> String {
+        let mut out = String::with_capacity(72);
+        for i in (0..32).rev() {
+            out.push(char::from_digit(self.nybble(i) as u32, 16).expect("nybble < 16"));
+            out.push('.');
+        }
+        out.push_str("ip6.arpa");
+        out
+    }
+
+    /// Parses an `ip6.arpa` pointer name back to the address. Accepts an
+    /// optional trailing dot and any ASCII case.
+    pub fn from_ip6_arpa(s: &str) -> Result<Addr, ParseError> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        let body = s
+            .strip_suffix("ip6.arpa")
+            .and_then(|b| b.strip_suffix('.'))
+            .ok_or(ParseError::NotIp6Arpa)?;
+        let mut v: u128 = 0;
+        let mut count = 0usize;
+        for part in body.split('.') {
+            let mut chars = part.chars();
+            let (Some(c), None) = (chars.next(), chars.next()) else {
+                return Err(ParseError::GroupTooLong);
+            };
+            let d = c.to_digit(16).ok_or(ParseError::InvalidCharacter(c))?;
+            if count >= 32 {
+                return Err(ParseError::TooManyGroups);
+            }
+            // Nybbles arrive least-significant first.
+            v |= (d as u128) << (4 * count);
+            count += 1;
+        }
+        if count != 32 {
+            return Err(ParseError::TooFewGroups);
+        }
+        Ok(Addr(v))
+    }
+
+    /// Parses the 32-hex-character fixed-width form produced by
+    /// [`Addr::to_fixed_hex`].
+    pub fn from_fixed_hex(s: &str) -> Result<Addr, ParseError> {
+        if s.len() != 32 {
+            return Err(ParseError::TooFewGroups);
+        }
+        let mut v: u128 = 0;
+        for c in s.chars() {
+            let d = c.to_digit(16).ok_or(ParseError::InvalidCharacter(c))?;
+            v = (v << 4) | d as u128;
+        }
+        Ok(Addr(v))
+    }
+}
+
+impl From<u128> for Addr {
+    fn from(v: u128) -> Addr {
+        Addr(v)
+    }
+}
+
+impl From<Addr> for u128 {
+    fn from(a: Addr) -> u128 {
+        a.0
+    }
+}
+
+impl From<Ipv6Addr> for Addr {
+    fn from(a: Ipv6Addr) -> Addr {
+        Addr::from_std(a)
+    }
+}
+
+impl From<Addr> for Ipv6Addr {
+    fn from(a: Addr) -> Ipv6Addr {
+        a.to_std()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (RFC 4291 §2.2)
+// ---------------------------------------------------------------------------
+
+impl FromStr for Addr {
+    type Err = ParseError;
+
+    /// Parses RFC 4291 presentation format: up to eight hex groups
+    /// separated by `:`, at most one `::` elision, and an optional
+    /// dotted-quad IPv4 tail occupying the final 32 bits.
+    fn from_str(s: &str) -> Result<Addr, ParseError> {
+        parse_addr(s)
+    }
+}
+
+fn parse_addr(s: &str) -> Result<Addr, ParseError> {
+    if s.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    let b = s.as_bytes();
+
+    // Locate the elision "::" if present.
+    let mut elision: Option<usize> = None;
+    let mut i = 0;
+    while i + 1 < b.len() {
+        if b[i] == b':' && b[i + 1] == b':' {
+            if elision.is_some() {
+                return Err(ParseError::MultipleElisions);
+            }
+            elision = Some(i);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    // "::: " anywhere means two overlapping elisions.
+    if s.contains(":::") {
+        return Err(ParseError::MultipleElisions);
+    }
+
+    let (head, tail) = match elision {
+        Some(pos) => (&s[..pos], &s[pos + 2..]),
+        None => (s, ""),
+    };
+
+    let mut groups_head: Vec<u16> = Vec::with_capacity(8);
+    let mut groups_tail: Vec<u16> = Vec::with_capacity(8);
+    parse_groups(head, &mut groups_head, elision.is_none())?;
+    if elision.is_some() {
+        parse_groups(tail, &mut groups_tail, true)?;
+    }
+
+    let total = groups_head.len() + groups_tail.len();
+    match elision {
+        // "::" always stands for at least one zero group.
+        Some(_) if total > 7 => return Err(ParseError::TooManyGroups),
+        Some(_) => {}
+        None if total > 8 => return Err(ParseError::TooManyGroups),
+        None if total < 8 => return Err(ParseError::TooFewGroups),
+        None => {}
+    }
+
+    let mut segs = [0u16; 8];
+    let fill = 8 - total;
+    for (k, g) in groups_head.iter().enumerate() {
+        segs[k] = *g;
+    }
+    for (k, g) in groups_tail.iter().enumerate() {
+        segs[groups_head.len() + fill + k] = *g;
+    }
+    Ok(Addr::from_segments(segs))
+}
+
+/// Parses a colon-separated run of hex groups, possibly ending in an IPv4
+/// dotted quad (which contributes two 16-bit groups). `ipv4_allowed` is
+/// true when this run ends the address.
+fn parse_groups(s: &str, out: &mut Vec<u16>, _full_form: bool) -> Result<(), ParseError> {
+    if s.is_empty() {
+        return Ok(());
+    }
+    let parts: Vec<&str> = s.split(':').collect();
+    for (idx, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            // split artifacts only legal from "::" which was removed.
+            return Err(ParseError::StrayColon);
+        }
+        if part.contains('.') {
+            // IPv4 tail: must be the final part.
+            if idx != parts.len() - 1 {
+                return Err(ParseError::BadIpv4Tail);
+            }
+            let v4 = parse_v4(part)?;
+            out.push(((v4[0] as u16) << 8) | v4[1] as u16);
+            out.push(((v4[2] as u16) << 8) | v4[3] as u16);
+            return Ok(());
+        }
+        if part.len() > 4 {
+            return Err(ParseError::GroupTooLong);
+        }
+        let mut g: u16 = 0;
+        for c in part.chars() {
+            let d = c.to_digit(16).ok_or(ParseError::InvalidCharacter(c))? as u16;
+            g = (g << 4) | d;
+        }
+        out.push(g);
+    }
+    Ok(())
+}
+
+fn parse_v4(s: &str) -> Result<[u8; 4], ParseError> {
+    let mut octets = [0u8; 4];
+    let mut n = 0;
+    for part in s.split('.') {
+        if n == 4 || part.is_empty() || part.len() > 3 {
+            return Err(ParseError::BadIpv4Tail);
+        }
+        // Reject leading zeros ("01") as inet_pton does.
+        if part.len() > 1 && part.starts_with('0') {
+            return Err(ParseError::BadIpv4Tail);
+        }
+        let mut v: u16 = 0;
+        for c in part.chars() {
+            let d = c.to_digit(10).ok_or(ParseError::BadIpv4Tail)? as u16;
+            v = v * 10 + d;
+            if v > 255 {
+                return Err(ParseError::BadIpv4Tail);
+            }
+        }
+        octets[n] = v as u8;
+        n += 1;
+    }
+    if n != 4 {
+        return Err(ParseError::BadIpv4Tail);
+    }
+    Ok(octets)
+}
+
+// ---------------------------------------------------------------------------
+// Formatting (RFC 5952 canonical form)
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for Addr {
+    /// Formats in RFC 5952 canonical form: lower-case hex, no leading
+    /// zeros, the single longest run of two-or-more zero groups compressed
+    /// to `::` (leftmost on ties).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let segs = self.segments();
+
+        // Find the longest run of zero segments of length >= 2.
+        let mut best_start = 0usize;
+        let mut best_len = 0usize;
+        let mut cur_start = 0usize;
+        let mut cur_len = 0usize;
+        for (i, &s) in segs.iter().enumerate() {
+            if s == 0 {
+                if cur_len == 0 {
+                    cur_start = i;
+                }
+                cur_len += 1;
+                if cur_len > best_len {
+                    best_len = cur_len;
+                    best_start = cur_start;
+                }
+            } else {
+                cur_len = 0;
+            }
+        }
+        if best_len < 2 {
+            best_len = 0;
+        }
+
+        let mut i = 0;
+        let mut first = true;
+        while i < 8 {
+            if best_len > 0 && i == best_start {
+                // '::' supplies the separator for the group that follows it.
+                f.write_str("::")?;
+                i += best_len;
+                if i >= 8 {
+                    return Ok(());
+                }
+                write!(f, "{:x}", segs[i])?;
+                i += 1;
+                first = false;
+                continue;
+            }
+            if !first {
+                f.write_str(":")?;
+            }
+            write!(f, "{:x}", segs[i])?;
+            first = false;
+            i += 1;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({self})")
+    }
+}
+
+impl serde::Serialize for Addr {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_str(self)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Addr {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Addr, D::Error> {
+        let s = String::deserialize(d)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parses_full_form() {
+        let x = a("2001:0db8:0000:0001:001e:c2ff:fec0:11db");
+        assert_eq!(
+            x.segments(),
+            [0x2001, 0xdb8, 0, 1, 0x1e, 0xc2ff, 0xfec0, 0x11db]
+        );
+    }
+
+    #[test]
+    fn parses_elision_everywhere() {
+        assert_eq!(a("::"), Addr(0));
+        assert_eq!(a("::1"), Addr(1));
+        assert_eq!(a("1::"), Addr(1u128 << 112));
+        assert_eq!(a("1::2"), Addr((1u128 << 112) | 2));
+        assert_eq!(
+            a("2001:db8::10:901").segments(),
+            [0x2001, 0xdb8, 0, 0, 0, 0, 0x10, 0x901]
+        );
+    }
+
+    #[test]
+    fn parses_ipv4_tail() {
+        let x = a("::ffff:192.0.2.1");
+        assert_eq!(x.segments(), [0, 0, 0, 0, 0, 0xffff, 0xc000, 0x0201]);
+        let y = a("64:ff9b::203.0.113.7");
+        assert_eq!(y.segments()[6], 0xcb00);
+        assert_eq!(y.segments()[7], 0x7107);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "", ":", ":::", "1:2:3", "1:2:3:4:5:6:7:8:9", "::g", "12345::", "1::2::3",
+            "::1.2.3", "::1.2.3.4.5", "::256.1.1.1", "::01.2.3.4", "1.2.3.4",
+            "2001:db8::1 ", " 2001:db8::1", "2001:db8:::1",
+        ] {
+            assert!(bad.parse::<Addr>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn formats_rfc5952() {
+        for (input, want) in [
+            ("2001:0DB8:0:0:0:0:0:1", "2001:db8::1"),
+            ("2001:db8:0:1:1:1:1:1", "2001:db8:0:1:1:1:1:1"),
+            ("2001:0:0:1:0:0:0:1", "2001:0:0:1::1"),
+            ("2001:db8:0:0:1:0:0:1", "2001:db8::1:0:0:1"),
+            ("0:0:0:0:0:0:0:0", "::"),
+            ("0:0:0:0:0:0:0:1", "::1"),
+            ("1:0:0:0:0:0:0:0", "1::"),
+            ("fe80:0:0:0:1:0:0:1", "fe80::1:0:0:1"),
+        ] {
+            assert_eq!(input.parse::<Addr>().unwrap().to_string(), want);
+        }
+    }
+
+    #[test]
+    fn accessors_agree() {
+        let x = a("2001:db8:4137:9e76:3031:f3fd:bbdd:2c2a");
+        assert_eq!(x.segment(2), 0x4137);
+        assert_eq!(x.nybble(8), 0x4);
+        assert_eq!(x.nybble(31), 0xa);
+        assert_eq!(x.network_bits(), 0x20010db841379e76);
+        assert_eq!(x.iid_bits(), 0x3031f3fdbbdd2c2a);
+        // bit 0..3 spell 0x2 = 0b0010
+        assert_eq!([x.bit(0), x.bit(1), x.bit(2), x.bit(3)], [0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn mask_and_common_prefix() {
+        let x = a("2001:db8:ffff:ffff:ffff:ffff:ffff:ffff");
+        assert_eq!(x.mask(32), a("2001:db8::"));
+        assert_eq!(x.mask(0), Addr(0));
+        assert_eq!(x.mask(128), x);
+        assert_eq!(a("2001:db8::1").common_prefix_len(a("2001:db8::2")), 126);
+        assert_eq!(a("::").common_prefix_len(a("8000::")), 0);
+        assert_eq!(a("::1").common_prefix_len(a("::1")), 128);
+    }
+
+    #[test]
+    fn with_bit_roundtrip() {
+        let x = a("2001:db8::");
+        let y = x.with_bit(127, 1);
+        assert_eq!(y, a("2001:db8::1"));
+        assert_eq!(y.with_bit(127, 0), x);
+    }
+
+    #[test]
+    fn fixed_hex_roundtrip() {
+        let x = a("2001:db8::9:1");
+        let h = x.to_fixed_hex();
+        assert_eq!(h.len(), 32);
+        assert_eq!(Addr::from_fixed_hex(&h).unwrap(), x);
+        assert!(Addr::from_fixed_hex("abc").is_err());
+        assert!(Addr::from_fixed_hex(&"g".repeat(32)).is_err());
+    }
+
+    #[test]
+    fn std_conversion_roundtrip() {
+        let x = a("2001:db8:10:1::103");
+        assert_eq!(Addr::from_std(x.to_std()), x);
+    }
+
+    #[test]
+    fn ip6_arpa_roundtrip_and_format() {
+        let x = a("2001:db8::567:89ab");
+        let ptr = x.to_ip6_arpa();
+        assert!(ptr.ends_with(".ip6.arpa"));
+        assert!(ptr.starts_with("b.a.9.8.7.6.5.0."));
+        assert_eq!(Addr::from_ip6_arpa(&ptr).unwrap(), x);
+        assert_eq!(Addr::from_ip6_arpa(&(ptr.clone() + ".")).unwrap(), x);
+        // RFC 3596's own example shape: 32 labels + ip6.arpa.
+        assert_eq!(ptr.split('.').count(), 34);
+        let bad_cases: Vec<String> = vec![
+            "ip6.arpa".into(),
+            "1.2.ip6.arpa".into(),
+            "x.".repeat(32) + "ip6.arpa",
+            "1.".repeat(33) + "ip6.arpa",
+            "1.".repeat(32) + "in-addr.arpa",
+            "11.".repeat(16) + "ip6.arpa",
+        ];
+        for bad in &bad_cases {
+            assert!(Addr::from_ip6_arpa(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for textual IPv6 address and prefix parsing.
+
+use std::fmt;
+
+/// An error produced while parsing an IPv6 address or prefix from text.
+///
+/// The parser in this crate is strict RFC 4291 §2.2: it accepts the full
+/// form, the `::` compressed form, and the embedded-IPv4 dotted-quad tail,
+/// and nothing else (no zone indices, no brackets, no leading/trailing
+/// whitespace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input was empty.
+    Empty,
+    /// A character outside `[0-9a-fA-F:.]` was encountered.
+    InvalidCharacter(char),
+    /// A hexadecimal group had more than 4 digits.
+    GroupTooLong,
+    /// More than one `::` appeared in the input.
+    MultipleElisions,
+    /// The address had too many 16-bit groups (more than 8, or more than
+    /// the elision allows).
+    TooManyGroups,
+    /// The address had too few groups and no `::` to absorb the slack.
+    TooFewGroups,
+    /// A `:` appeared in a position where a group was required (e.g. a
+    /// leading or trailing single colon).
+    StrayColon,
+    /// The embedded IPv4 dotted-quad tail was malformed.
+    BadIpv4Tail,
+    /// The prefix length following `/` was missing or not a number.
+    BadPrefixLength,
+    /// The prefix length exceeded 128.
+    PrefixLengthRange(u16),
+    /// A prefix had non-zero bits beyond its stated length (only an error
+    /// for [`crate::Prefix::from_str_strict`]).
+    HostBitsSet,
+    /// The input was not an `ip6.arpa` pointer name.
+    NotIp6Arpa,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty address"),
+            ParseError::InvalidCharacter(c) => write!(f, "invalid character {c:?}"),
+            ParseError::GroupTooLong => write!(f, "hex group longer than 4 digits"),
+            ParseError::MultipleElisions => write!(f, "more than one '::'"),
+            ParseError::TooManyGroups => write!(f, "too many 16-bit groups"),
+            ParseError::TooFewGroups => write!(f, "too few 16-bit groups and no '::'"),
+            ParseError::StrayColon => write!(f, "stray ':' without a group"),
+            ParseError::BadIpv4Tail => write!(f, "malformed embedded IPv4 tail"),
+            ParseError::BadPrefixLength => write!(f, "missing or malformed prefix length"),
+            ParseError::PrefixLengthRange(n) => write!(f, "prefix length {n} exceeds 128"),
+            ParseError::HostBitsSet => write!(f, "bits set beyond the prefix length"),
+            ParseError::NotIp6Arpa => write!(f, "not an ip6.arpa pointer name"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

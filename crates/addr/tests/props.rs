@@ -1,0 +1,187 @@
+//! Property-based tests for the address substrate, using the standard
+//! library's `Ipv6Addr` as a parsing/formatting oracle.
+
+use proptest::prelude::*;
+use std::net::Ipv6Addr;
+use v6census_addr::{Addr, Iid, Mac, Prefix};
+
+proptest! {
+    /// Our RFC 5952 formatter agrees with the standard library's.
+    #[test]
+    fn format_matches_std(bits: u128) {
+        let ours = Addr(bits).to_string();
+        let std = Ipv6Addr::from_bits(bits).to_string();
+        prop_assert_eq!(ours, std);
+    }
+
+    /// Display → parse is the identity.
+    #[test]
+    fn display_parse_roundtrip(bits: u128) {
+        let a = Addr(bits);
+        let back: Addr = a.to_string().parse().unwrap();
+        prop_assert_eq!(a, back);
+    }
+
+    /// Anything the standard library parses, we parse to the same bits,
+    /// and vice versa for our own output.
+    #[test]
+    fn parse_matches_std_on_std_output(bits: u128) {
+        let text = Ipv6Addr::from_bits(bits).to_string();
+        let ours: Addr = text.parse().unwrap();
+        prop_assert_eq!(ours.0, bits);
+    }
+
+    /// Full uncompressed form parses to the same bits.
+    #[test]
+    fn parse_full_form(bits: u128) {
+        let a = Addr(bits);
+        let segs = a.segments();
+        let full = format!(
+            "{:x}:{:x}:{:x}:{:x}:{:x}:{:x}:{:x}:{:x}",
+            segs[0], segs[1], segs[2], segs[3], segs[4], segs[5], segs[6], segs[7]
+        );
+        prop_assert_eq!(full.parse::<Addr>().unwrap(), a);
+    }
+
+    /// Fixed-width hex roundtrip.
+    #[test]
+    fn fixed_hex_roundtrip(bits: u128) {
+        let a = Addr(bits);
+        prop_assert_eq!(Addr::from_fixed_hex(&a.to_fixed_hex()).unwrap(), a);
+    }
+
+    /// Accessors reconstruct the value.
+    #[test]
+    fn accessors_reconstruct(bits: u128) {
+        let a = Addr(bits);
+        let mut from_bits = 0u128;
+        for i in 0..128 {
+            from_bits = (from_bits << 1) | a.bit(i) as u128;
+        }
+        prop_assert_eq!(from_bits, bits);
+        let mut from_nybbles = 0u128;
+        for i in 0..32 {
+            from_nybbles = (from_nybbles << 4) | a.nybble(i) as u128;
+        }
+        prop_assert_eq!(from_nybbles, bits);
+        prop_assert_eq!(Addr::from_segments(a.segments()), a);
+        prop_assert_eq!(Addr::from_bytes(a.to_bytes()), a);
+        prop_assert_eq!(
+            ((a.network_bits() as u128) << 64) | a.iid_bits() as u128,
+            bits
+        );
+    }
+
+    /// mask(len) is idempotent, monotone in specificity, and respects
+    /// common_prefix_len.
+    #[test]
+    fn mask_laws(bits: u128, len in 0u8..=128) {
+        let a = Addr(bits);
+        let m = a.mask(len);
+        prop_assert_eq!(m.mask(len), m, "idempotent");
+        prop_assert!(a.common_prefix_len(m) >= len.min(a.common_prefix_len(a)));
+        if len < 128 {
+            prop_assert_eq!(m.mask(len + 1), m, "masking is nested");
+        }
+    }
+
+    /// common_prefix_len is symmetric and consistent with equality of
+    /// masked values.
+    #[test]
+    fn common_prefix_consistency(x: u128, y: u128, len in 0u8..=128) {
+        let a = Addr(x);
+        let b = Addr(y);
+        prop_assert_eq!(a.common_prefix_len(b), b.common_prefix_len(a));
+        let share = a.common_prefix_len(b) >= len;
+        prop_assert_eq!(share, a.mask(len) == b.mask(len));
+    }
+
+    /// Prefix containment is a partial order consistent with masks.
+    #[test]
+    fn prefix_containment_laws(x: u128, y: u128, l1 in 0u8..=128, l2 in 0u8..=128) {
+        let p = Prefix::new(Addr(x), l1);
+        let q = Prefix::new(Addr(y), l2);
+        prop_assert!(p.contains(p), "reflexive");
+        if p.contains(q) && q.contains(p) {
+            prop_assert_eq!(p, q, "antisymmetric");
+        }
+        prop_assert_eq!(p.contains_addr(Addr(y)), p.contains(Prefix::host(Addr(y))));
+        if p.contains(q) {
+            prop_assert!(p.len() <= q.len());
+            prop_assert!(p.contains_addr(q.addr()));
+        }
+        // Display roundtrip for prefixes too.
+        let back: Prefix = p.to_string().parse().unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    /// Parent/children invert each other and tile the parent's span.
+    #[test]
+    fn prefix_family_laws(x: u128, len in 1u8..=127) {
+        let p = Prefix::new(Addr(x), len);
+        let parent = p.parent().unwrap();
+        prop_assert!(parent.contains(p));
+        let (l, r) = p.children().unwrap();
+        prop_assert!(p.contains(l) && p.contains(r));
+        prop_assert!(!l.overlaps(r));
+        prop_assert_eq!(l.span().unwrap() + r.span().unwrap(), p.span().unwrap());
+        prop_assert_eq!(l.parent().unwrap(), p);
+        prop_assert_eq!(r.parent().unwrap(), p);
+    }
+
+    /// EUI-64 encode/decode roundtrip, and the u-bit flip.
+    #[test]
+    fn eui64_roundtrip(m0: u8, m1: u8, m2: u8, m3: u8, m4: u8, m5: u8) {
+        let mac = Mac([m0, m1, m2, m3, m4, m5]);
+        let iid = mac.to_modified_eui64();
+        prop_assert_eq!(Mac::from_modified_eui64(iid), Some(mac));
+        // The IID carries the ff:fe marker.
+        prop_assert!(Iid(iid).is_eui64());
+        // u-bit in the IID is the inverse of the MAC's u/l bit.
+        prop_assert_eq!(Iid(iid).u_bit() == 1, m0 & 0x02 == 0);
+        // MAC text roundtrip.
+        let parsed: Mac = mac.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, mac);
+    }
+
+    /// Random 64-bit IIDs almost never alias EUI-64 (the marker is 16
+    /// specific bits); when they do, decode must re-encode to the same
+    /// IID.
+    #[test]
+    fn eui64_decode_encode_consistency(iid: u64) {
+        if let Some(mac) = Mac::from_modified_eui64(iid) {
+            prop_assert_eq!(mac.to_modified_eui64(), iid);
+        }
+    }
+
+    /// The content classifier is total and stable (never panics, same
+    /// result twice) on arbitrary input.
+    #[test]
+    fn classify_total(bits: u128) {
+        let a = Addr(bits);
+        let s1 = v6census_addr::scheme::classify(a);
+        let s2 = v6census_addr::scheme::classify(a);
+        prop_assert_eq!(s1, s2);
+        let _ = v6census_addr::malone::classify_content_only(a);
+        let _ = v6census_addr::iid_entropy_bits(Iid::of(a));
+    }
+
+    /// Garbage strings never panic the parser.
+    #[test]
+    fn parser_handles_garbage(s in "[0-9a-fA-F:. /]{0,64}") {
+        let _ = s.parse::<Addr>();
+        let _ = s.parse::<Prefix>();
+        let _ = Prefix::from_str_strict(&s);
+    }
+}
+
+proptest! {
+    /// ip6.arpa pointer-name roundtrip.
+    #[test]
+    fn ip6_arpa_roundtrip(bits: u128) {
+        let a = Addr(bits);
+        let ptr = a.to_ip6_arpa();
+        prop_assert_eq!(ptr.split('.').count(), 34);
+        prop_assert_eq!(Addr::from_ip6_arpa(&ptr).unwrap(), a);
+    }
+}

@@ -1,0 +1,52 @@
+//! Microbenchmarks for MRA aggregate-count and curve computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use v6census_addr::Addr;
+use v6census_core::spatial::{MraCurve, MraResolution};
+use v6census_trie::{AddrSet, AggregateCounts};
+
+fn population(n: u64) -> AddrSet {
+    AddrSet::from_iter((0..n).map(|i| {
+        let hi = 0x2400_4000_0000_0000u64 | (i % 10_007) << 16;
+        let lo = i.wrapping_mul(0x9e37_79b9_7f4a_7c15) & !(1 << 57);
+        Addr(((hi as u128) << 64) | lo as u128)
+    }))
+}
+
+fn bench_aggregate_counts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aggregate_counts");
+    g.sample_size(10);
+    for n in [10_000u64, 100_000, 1_000_000] {
+        let set = population(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
+            b.iter(|| black_box(AggregateCounts::of(set).n(64)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_curves_and_signature(c: &mut Criterion) {
+    let set = population(100_000);
+    c.bench_function("mra_all_curves_100k", |b| {
+        b.iter(|| {
+            let mra = MraCurve::of(&set);
+            let mut acc = 0.0;
+            for res in [
+                MraResolution::SingleBit,
+                MraResolution::Nybble,
+                MraResolution::Segment16,
+            ] {
+                acc += mra.curve(res).iter().map(|&(_, r)| r).sum::<f64>();
+            }
+            black_box(acc)
+        })
+    });
+    let mra = MraCurve::of(&set);
+    c.bench_function("privacy_signature", |b| {
+        b.iter(|| black_box(mra.privacy_signature().matches()))
+    });
+}
+
+criterion_group!(benches, bench_aggregate_counts, bench_curves_and_signature);
+criterion_main!(benches);

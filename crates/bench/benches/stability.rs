@@ -1,0 +1,79 @@
+//! Microbenchmarks for the temporal classifier: nd-stable over sliding
+//! windows, including the window-size sweep the paper marks as future
+//! work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use v6census_addr::Addr;
+use v6census_core::temporal::{DailyObservations, Day, StabilityParams};
+use v6census_trie::AddrSet;
+
+/// A 15-day observation history with daily churn: `stable_share` of the
+/// population recurs daily; the rest is fresh every day.
+fn history(daily: u64, stable_share: f64) -> (DailyObservations, Day) {
+    let base = Day::from_ymd(2015, 3, 10);
+    let stable_n = (daily as f64 * stable_share) as u64;
+    let mut obs = DailyObservations::new();
+    for d in 0..15i32 {
+        let mut addrs = Vec::with_capacity(daily as usize);
+        for i in 0..stable_n {
+            addrs.push(Addr((0x2001_0db8u128 << 96) | i as u128));
+        }
+        for i in stable_n..daily {
+            let lo = (i ^ (d as u64) << 40).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            addrs.push(Addr((0x2a00_8000u128 << 96) | lo as u128));
+        }
+        obs.record(base + d, AddrSet::from_iter(addrs));
+    }
+    (obs, base + 7)
+}
+
+fn bench_stable_on(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stable_on_3d");
+    g.sample_size(10);
+    for daily in [10_000u64, 100_000] {
+        let (obs, reference) = history(daily, 0.1);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(daily),
+            &(obs, reference),
+            |b, (obs, reference)| {
+                b.iter(|| {
+                    black_box(
+                        obs.stable_on(*reference, &StabilityParams::three_day())
+                            .len(),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_window_sweep(c: &mut Criterion) {
+    let (obs, reference) = history(50_000, 0.1);
+    let mut g = c.benchmark_group("window_sweep_50k");
+    g.sample_size(10);
+    for reach in [3u32, 7, 14] {
+        g.bench_with_input(BenchmarkId::from_parameter(reach), &reach, |b, &reach| {
+            let params = StabilityParams::nd(3).with_window(reach, reach);
+            b.iter(|| black_box(obs.stable_on(reference, &params).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_weekly(c: &mut Criterion) {
+    let (obs, reference) = history(20_000, 0.1);
+    c.bench_function("stable_over_week_20k", |b| {
+        b.iter(|| {
+            black_box(
+                obs.stable_over_week(reference - 3, &StabilityParams::three_day())
+                    .stable
+                    .len(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_stable_on, bench_window_sweep, bench_weekly);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Microbenchmarks for the Patricia trie: inserts, longest-prefix match,
+//! and subtree counting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use v6census_addr::{Addr, Prefix};
+use v6census_trie::{PrefixMap, RadixTree};
+
+fn synth_addrs(n: u64) -> Vec<Addr> {
+    (0..n)
+        .map(|i| {
+            let hi = 0x2001_0db8_0000_0000u64 | (i % 997) << 4;
+            let lo = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            Addr(((hi as u128) << 64) | lo as u128)
+        })
+        .collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trie_insert");
+    g.sample_size(10);
+    for n in [1_000u64, 10_000, 100_000] {
+        let addrs = synth_addrs(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &addrs, |b, addrs| {
+            b.iter(|| {
+                let mut t = RadixTree::new();
+                for &a in addrs {
+                    t.insert_addr(a, 1);
+                }
+                black_box(t.total())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lpm(c: &mut Criterion) {
+    let mut rt: PrefixMap<u32> = PrefixMap::new();
+    for i in 0..5_000u32 {
+        let p = Prefix::new(
+            Addr(((0x2000u128 + (i as u128 % 0x800)) << 112) | ((i as u128) << 80)),
+            48,
+        );
+        rt.insert(p, i);
+    }
+    let probes = synth_addrs(10_000);
+    c.bench_function("prefix_map_lpm_10k", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &a in &probes {
+                if rt.longest_match(a).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_count_within(c: &mut Criterion) {
+    let addrs = synth_addrs(50_000);
+    let mut t = RadixTree::new();
+    for &a in &addrs {
+        t.insert_addr(a, 1);
+    }
+    let probes: Vec<Prefix> = (0..1_000u64)
+        .map(|i| Prefix::of(addrs[(i * 37 % addrs.len() as u64) as usize], 64))
+        .collect();
+    c.bench_function("count_within_1k_probes", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &p in &probes {
+                acc += t.count_within(p);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_lpm, bench_count_within);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates **§6.2.2's WWW-client density numbers**: 2@/112-dense
+//! prefixes over the March 17, 2015 actives (paper: 128 K prefixes,
+//! 1.38 M client addresses therein, 8.39 B possible targets).
+
+use v6census_bench::{Opts, Snapshot};
+use v6census_census::experiments::dense_www;
+use v6census_census::humane::si;
+use v6census_synth::world::epochs;
+
+fn main() {
+    let opts = Opts::parse();
+    eprintln!("[dense_www] building March 2015 window at scale {}…", opts.scale);
+    let snap = Snapshot::build_mar2015(&opts);
+    let r = dense_www(&snap.census, epochs::mar2015());
+    let report = format!(
+        "2@/112-dense prefixes   : {}   (paper: 128K)\n\
+         client addrs therein    : {}   (paper: 1.38M)\n\
+         possible target addrs   : {}   (paper: 8.39B)\n\
+         address density         : {:.10}\n",
+        si(r.dense_prefixes as u128),
+        si(r.covered_addresses as u128),
+        si(r.possible_addresses),
+        r.density()
+    );
+    opts.emit("dense_www.txt", &report);
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Figure 2**: MRA plots for (a) a university-style network
+//! dominated by privacy addresses in sparse /64s and (b) a telco-style
+//! network with dense low-bit blocks.
+
+use v6census_bench::{Opts, Snapshot};
+use v6census_census::figures::MraFigure;
+use v6census_census::plot::{ascii_mra, tsv_mra};
+use v6census_core::temporal::Day;
+use v6census_synth::world::{asns, epochs};
+use v6census_trie::AddrSet;
+
+fn main() {
+    let opts = Opts::parse();
+    eprintln!("[fig2] building March 2015 week at scale {}…", opts.scale);
+    let snap = Snapshot::build_mar2015(&opts);
+    let week: Vec<Day> = epochs::mar2015().range_inclusive(epochs::mar2015() + 6).collect();
+    let week_set = snap.census.other_over(week.iter().copied());
+
+    let by_asn = snap.rt.group_by_asn(&week_set);
+    let empty = AddrSet::new();
+    let uni = by_asn.get(&(asns::UNIVERSITY_FIRST + 1)).unwrap_or(&empty);
+    let jp = by_asn.get(&asns::JP_ISP).unwrap_or(&empty);
+
+    let fa = MraFigure::of("(a) university (cf. paper's US university)", uni);
+    let fb = MraFigure::of("(b) JP telco", jp);
+    opts.emit("fig2a_university.txt", &ascii_mra(&fa));
+    opts.emit("fig2a_university.tsv", &tsv_mra(&fa));
+    opts.emit("fig2b_jp_telco.txt", &ascii_mra(&fb));
+    opts.emit("fig2b_jp_telco.tsv", &tsv_mra(&fb));
+}

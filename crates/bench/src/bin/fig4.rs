@@ -1,0 +1,23 @@
+//! Regenerates **Figure 4**: the March 2015 stability time series —
+//! active addresses and /64s per day, with overlaps against the March 17
+//! and March 23 reference days.
+
+use v6census_bench::{Opts, Snapshot};
+use v6census_census::figures::StabilityFigure;
+use v6census_census::plot::{ascii_stability, tsv_stability};
+use v6census_synth::world::epochs;
+
+fn main() {
+    let opts = Opts::parse();
+    eprintln!("[fig4] building March 2015 window at scale {}…", opts.scale);
+    let snap = Snapshot::build_mar2015(&opts);
+    let ref_a = epochs::mar2015(); // Mar 17
+    let ref_b = ref_a + 6; // Mar 23
+
+    let addrs = StabilityFigure::of(snap.census.other_daily(), ref_a, ref_b);
+    let p64s = StabilityFigure::of(snap.census.other64_daily(), ref_a, ref_b);
+    opts.emit("fig4a_addr_stability.txt", &ascii_stability(&addrs));
+    opts.emit("fig4a_addr_stability.tsv", &tsv_stability(&addrs));
+    opts.emit("fig4b_64_stability.txt", &ascii_stability(&p64s));
+    opts.emit("fig4b_64_stability.tsv", &tsv_stability(&p64s));
+}

@@ -1,0 +1,17 @@
+//! Regenerates **Table 1**: active IPv6 WWW client address
+//! characteristics per day and per week at the three study epochs.
+
+use v6census_bench::{epoch_specs, Opts, Snapshot};
+use v6census_census::tables::table1;
+
+fn main() {
+    let opts = Opts::parse();
+    eprintln!(
+        "[table1] building 3-epoch snapshot at scale {} (paper ≈ scale × 1000)…",
+        opts.scale
+    );
+    let snap = Snapshot::build(&opts);
+    let (daily, weekly) = table1(&snap.census, &epoch_specs());
+    opts.emit("table1a_per_day.txt", &daily.render());
+    opts.emit("table1b_per_week.txt", &weekly.render());
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Table 2**: stability of active IPv6 WWW client addresses
+//! and /64 prefixes, per day and per week, with 6-month and 1-year
+//! cross-epoch classes.
+
+use v6census_bench::{epoch_specs, Opts, Snapshot};
+use v6census_census::tables::Table2;
+use v6census_core::temporal::StabilityParams;
+
+fn main() {
+    let opts = Opts::parse();
+    eprintln!("[table2] building 3-epoch snapshot at scale {}…", opts.scale);
+    let snap = Snapshot::build(&opts);
+    let specs = epoch_specs();
+    let params = StabilityParams::three_day();
+
+    let a = Table2::daily(
+        "(a) Stability of IPv6 addresses per day",
+        snap.census.other_daily(),
+        &specs,
+        params,
+    );
+    let b = Table2::daily(
+        "(b) Stability of /64 prefixes per day",
+        snap.census.other64_daily(),
+        &specs,
+        params,
+    );
+    let c = Table2::weekly(
+        "(c) Stability of IPv6 addresses per week",
+        snap.census.other_daily(),
+        &specs,
+        params,
+    );
+    let d = Table2::weekly(
+        "(d) Stability of /64 prefixes per week",
+        snap.census.other64_daily(),
+        &specs,
+        params,
+    );
+    opts.emit("table2a_addr_daily.txt", &a.render());
+    opts.emit("table2b_64_daily.txt", &b.render());
+    opts.emit("table2c_addr_weekly.txt", &c.render());
+    opts.emit("table2d_64_weekly.txt", &d.render());
+}

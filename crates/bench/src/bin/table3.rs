@@ -1,0 +1,55 @@
+//! Regenerates **Table 3**: dense prefixes identified at the paper's
+//! twelve density classes over a router-address dataset collected with
+//! TTL-limited probes (§4.2).
+//!
+//! The probe campaign follows §4.2: recursive resolvers, CDN locations,
+//! and a large sample of WWW client addresses, including the 3d-stable
+//! subset from the two 2014 epochs (the paper's 12 M of 18 M targets).
+
+use v6census_bench::{Opts, Snapshot};
+use v6census_census::experiments::sample_every;
+use v6census_census::tables::Table3;
+use v6census_core::temporal::StabilityParams;
+use v6census_synth::router::ProbeSim;
+use v6census_synth::world::epochs;
+
+fn main() {
+    let opts = Opts::parse();
+    eprintln!("[table3] building snapshot at scale {}…", opts.scale);
+    let snap = Snapshot::build(&opts);
+    let sim = ProbeSim::new(&snap.world, epochs::mar2015());
+
+    // Client target assembly: stable addresses from Mar/Sep 2014 plus
+    // random actives, scaled like the paper's 18M (12M stable) at 1/1000.
+    let params = StabilityParams::three_day();
+    let stable14 = snap
+        .census
+        .other_daily()
+        .stable_over_week(epochs::mar2014(), &params)
+        .stable
+        .union(
+            &snap
+                .census
+                .other_daily()
+                .stable_over_week(epochs::sep2014(), &params)
+                .stable,
+        );
+    let actives = snap.census.other_daily().on(epochs::mar2015());
+    let stable_want = (12_000.0 * opts.scale) as usize;
+    let random_want = (6_000.0 * opts.scale) as usize;
+    let mut clients = sample_every(&stable14, stable_want);
+    clients.extend(sample_every(&actives, random_want));
+    eprintln!(
+        "[table3] probing {} resolver + 500 CDN + {} client targets…",
+        sim.resolver_targets().len(),
+        clients.len()
+    );
+
+    let routers = sim.router_dataset(&clients);
+    let t3 = Table3::compute(&routers);
+    let header = format!(
+        "Dense prefixes identified at various densities for {} router addrs\n\n",
+        v6census_census::humane::si(routers.len() as u128)
+    );
+    opts.emit("table3_dense_routers.txt", &(header + &t3.render()));
+}

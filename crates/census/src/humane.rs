@@ -1,0 +1,82 @@
+//! Paper-style number formatting: `318M (95.8%)`, `1.81M`, `8.39B`.
+
+/// Formats a count with three significant figures and a K/M/B/T suffix,
+/// matching the paper's tables ("12.8M", "1.98K", "318M", "1.81T").
+pub fn si(n: u128) -> String {
+    const UNITS: [(u128, &str); 4] = [
+        (1_000_000_000_000, "T"),
+        (1_000_000_000, "B"),
+        (1_000_000, "M"),
+        (1_000, "K"),
+    ];
+    for &(scale, suffix) in &UNITS {
+        if n >= scale {
+            let v = n as f64 / scale as f64;
+            return format!("{}{}", three_sig(v), suffix);
+        }
+    }
+    n.to_string()
+}
+
+/// Three significant figures: 1.98, 12.8, 318.
+fn three_sig(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Formats a proportion the way the paper's tables do: `(95.8%)`,
+/// `(0.00%)`, `(.296%)` style is normalized to three significant figures
+/// with a leading digit.
+pub fn pct(part: u128, whole: u128) -> String {
+    if whole == 0 {
+        return "(—)".to_string();
+    }
+    let p = part as f64 / whole as f64 * 100.0;
+    if p >= 10.0 {
+        format!("({p:.1}%)")
+    } else if p >= 0.995 {
+        format!("({p:.2}%)")
+    } else {
+        format!("({p:.3}%)")
+    }
+}
+
+/// `count + percentage` cell, e.g. `318M (95.8%)`.
+pub fn count_pct(part: u128, whole: u128) -> String {
+    format!("{} {}", si(part), pct(part, whole))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn si_matches_paper_style() {
+        assert_eq!(si(1_980), "1.98K");
+        assert_eq!(si(12_800_000), "12.8M");
+        assert_eq!(si(318_000_000), "318M");
+        assert_eq!(si(1_800_000_000), "1.80B");
+        assert_eq!(si(1_810_000_000_000), "1.81T");
+        assert_eq!(si(999), "999");
+        assert_eq!(si(0), "0");
+    }
+
+    #[test]
+    fn pct_styles() {
+        assert_eq!(pct(958, 1000), "(95.8%)");
+        assert_eq!(pct(944, 10_000), "(9.44%)");
+        assert_eq!(pct(296, 100_000), "(0.296%)");
+        assert_eq!(pct(0, 100), "(0.000%)");
+        assert_eq!(pct(1, 0), "(—)");
+    }
+
+    #[test]
+    fn combined_cell() {
+        assert_eq!(count_pct(12_800_000, 160_600_000), "12.8M (7.97%)");
+    }
+}

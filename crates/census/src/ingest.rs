@@ -1,0 +1,336 @@
+//! Log ingestion and transition-mechanism culling (§4.1).
+//!
+//! The census separates client addresses of the early transition
+//! mechanisms (Teredo, ISATAP, 6to4) from "Other" addresses — native
+//! end-to-end IPv6 transport, which includes 464XLAT and DS-Lite — before
+//! any temporal or spatial classification, because the mechanisms'
+//! content-defined address formats would skew results.
+
+use std::collections::BTreeSet;
+use v6census_addr::scheme::{classify, classify_beneath_6to4};
+use v6census_addr::{Addr, AddressScheme, Mac};
+use v6census_core::temporal::{DailyObservations, Day};
+use v6census_synth::{DayLog, World};
+use v6census_trie::AddrSet;
+
+/// One day's log, culled into the paper's §4.1 categories.
+#[derive(Clone, Debug)]
+pub struct DaySummary {
+    /// The log-processed date.
+    pub day: Day,
+    /// Teredo client addresses.
+    pub teredo: AddrSet,
+    /// ISATAP client addresses.
+    pub isatap: AddrSet,
+    /// 6to4 client addresses.
+    pub sixtofour: AddrSet,
+    /// "Other" addresses: native IPv6 end-to-end transport.
+    pub other: AddrSet,
+    /// EUI-64 addresses among "Other" (the Table 1 "EUI-64 addr (!6to4)"
+    /// row).
+    pub eui64: AddrSet,
+    /// Unique MACs behind the EUI-64 addresses.
+    pub eui64_macs: BTreeSet<Mac>,
+    /// Total hits for the day.
+    pub hits: u64,
+}
+
+impl DaySummary {
+    /// Classifies and culls one day's aggregated log.
+    pub fn from_log(log: &DayLog) -> DaySummary {
+        let mut teredo = Vec::new();
+        let mut isatap = Vec::new();
+        let mut sixtofour = Vec::new();
+        let mut other = Vec::new();
+        let mut eui64 = Vec::new();
+        let mut eui64_macs = BTreeSet::new();
+        let mut hits = 0u64;
+        for e in &log.entries {
+            hits += e.hits;
+            match classify(e.addr) {
+                AddressScheme::Teredo => teredo.push(e.addr),
+                AddressScheme::Isatap => isatap.push(e.addr),
+                AddressScheme::SixToFour => sixtofour.push(e.addr),
+                AddressScheme::Eui64(mac) => {
+                    other.push(e.addr);
+                    eui64.push(e.addr);
+                    eui64_macs.insert(mac);
+                }
+                _ => other.push(e.addr),
+            }
+        }
+        DaySummary {
+            day: log.day,
+            teredo: AddrSet::from_iter(teredo),
+            isatap: AddrSet::from_iter(isatap),
+            sixtofour: AddrSet::from_iter(sixtofour),
+            other: AddrSet::from_iter(other),
+            eui64: AddrSet::from_iter(eui64),
+            eui64_macs,
+            hits,
+        }
+    }
+
+    /// Total active addresses across all categories (the percentage base
+    /// of Table 1).
+    pub fn total(&self) -> usize {
+        self.teredo.len() + self.isatap.len() + self.sixtofour.len() + self.other.len()
+    }
+
+    /// Active /64 prefixes among "Other" addresses.
+    pub fn other_64s(&self) -> AddrSet {
+        self.other.map_prefix(64)
+    }
+}
+
+/// A multi-day census over a world: per-day culled summaries plus the
+/// observation stores that feed the temporal classifier.
+pub struct Census {
+    summaries: Vec<DaySummary>,
+    other_daily: DailyObservations,
+    other64_daily: DailyObservations,
+}
+
+impl Census {
+    /// An empty census, to be fed with [`Census::ingest`].
+    pub fn new_empty() -> Census {
+        Census {
+            summaries: Vec::new(),
+            other_daily: DailyObservations::new(),
+            other64_daily: DailyObservations::new(),
+        }
+    }
+
+    /// Ingests logs for every day in `first..=last` (inclusive).
+    pub fn run(world: &World, first: Day, last: Day) -> Census {
+        let mut c = Census::new_empty();
+        for day in first.range_inclusive(last) {
+            c.ingest(&world.day_log(day));
+        }
+        c
+    }
+
+    /// Ingests one pre-generated log (for callers generating days in
+    /// parallel).
+    pub fn ingest(&mut self, log: &DayLog) {
+        let s = DaySummary::from_log(log);
+        self.other_daily.record(s.day, s.other.clone());
+        self.other64_daily.record(s.day, s.other_64s());
+        self.summaries.push(s);
+    }
+
+    /// The per-day summaries, in ingestion order.
+    pub fn summaries(&self) -> &[DaySummary] {
+        &self.summaries
+    }
+
+    /// The summary for one day, if ingested.
+    pub fn summary(&self, day: Day) -> Option<&DaySummary> {
+        self.summaries.iter().find(|s| s.day == day)
+    }
+
+    /// Daily "Other" address observations (temporal classifier input).
+    pub fn other_daily(&self) -> &DailyObservations {
+        &self.other_daily
+    }
+
+    /// Daily "Other" /64 observations.
+    pub fn other64_daily(&self) -> &DailyObservations {
+        &self.other64_daily
+    }
+
+    /// Union of "Other" addresses over `days`.
+    pub fn other_over(&self, days: impl IntoIterator<Item = Day>) -> AddrSet {
+        AddrSet::union_all(
+            days.into_iter()
+                .filter_map(|d| self.other_daily.get(d))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Union of EUI-64 "Other" addresses over `days`.
+    pub fn eui64_over(&self, days: impl IntoIterator<Item = Day>) -> AddrSet {
+        let wanted: Vec<&AddrSet> = {
+            let days: Vec<Day> = days.into_iter().collect();
+            self.summaries
+                .iter()
+                .filter(|s| days.contains(&s.day))
+                .map(|s| &s.eui64)
+                .collect()
+        };
+        AddrSet::union_all(wanted)
+    }
+
+    /// The full classification join for one day: every "Other" address
+    /// with its content scheme (§3), temporal class (§5.1), and — when a
+    /// density class is supplied — its spatial dense-prefix membership
+    /// (§5.2.2). This is the record the paper's applications (target
+    /// selection, retention policy, reputation) consume.
+    pub fn classify_day(
+        &self,
+        day: Day,
+        params: &v6census_core::temporal::StabilityParams,
+        dense: Option<v6census_core::spatial::DensityClass>,
+    ) -> Vec<v6census_core::ClassifiedAddr> {
+        use v6census_core::{ClassifiedAddr, TemporalClass};
+        let active = self.other_daily.on(day);
+        let stable = self.other_daily.stable_on(day, params);
+        let dense_members = dense.map(|c| c.dense_addresses(&active));
+        active
+            .iter()
+            .map(|a| ClassifiedAddr {
+                addr: a,
+                scheme: classify(a),
+                temporal: if stable.contains(a) {
+                    TemporalClass::NdStable {
+                        n: params.n,
+                        back: params.back,
+                        fwd: params.fwd,
+                    }
+                } else {
+                    TemporalClass::NotKnownStable
+                },
+                dense_in: match (&dense_members, dense) {
+                    (Some(members), Some(c)) if members.contains(a) => Some((c.n, c.p)),
+                    _ => None,
+                },
+            })
+            .collect()
+    }
+
+    /// Weekly category rollup: a [`DaySummary`]-shaped union over the
+    /// seven days starting at `first` (Table 1b).
+    pub fn week_summary(&self, first: Day) -> DaySummary {
+        let days: Vec<&DaySummary> = self
+            .summaries
+            .iter()
+            .filter(|s| s.day >= first && s.day <= first + 6)
+            .collect();
+        let mut eui64_macs = BTreeSet::new();
+        for s in &days {
+            eui64_macs.extend(s.eui64_macs.iter().copied());
+        }
+        let union = |f: fn(&DaySummary) -> &AddrSet| {
+            AddrSet::union_all(days.iter().map(|s| f(s)).collect::<Vec<_>>())
+        };
+        DaySummary {
+            day: first,
+            teredo: union(|s| &s.teredo),
+            isatap: union(|s| &s.isatap),
+            sixtofour: union(|s| &s.sixtofour),
+            other: union(|s| &s.other),
+            eui64: union(|s| &s.eui64),
+            eui64_macs,
+            hits: days.iter().map(|s| s.hits).sum(),
+        }
+    }
+}
+
+/// Splits EUI-64 addresses of a set by their embedded MAC — used by the
+/// §6.1.1 / §6.2.1 EUI-64 analyses.
+pub fn group_by_mac(set: &AddrSet) -> std::collections::BTreeMap<Mac, Vec<Addr>> {
+    let mut out: std::collections::BTreeMap<Mac, Vec<Addr>> = std::collections::BTreeMap::new();
+    for a in set.iter() {
+        if let AddressScheme::Eui64(mac) = classify_beneath_6to4(a) {
+            out.entry(mac).or_default().push(a);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v6census_synth::{world::epochs, WorldConfig};
+
+    fn world() -> World {
+        World::standard(WorldConfig::tiny(13))
+    }
+
+    #[test]
+    fn day_summary_partitions_the_log() {
+        let w = world();
+        let log = w.day_log(epochs::mar2015());
+        let s = DaySummary::from_log(&log);
+        assert_eq!(s.total(), log.len(), "culling must not lose addresses");
+        assert!(s.other.len() > s.sixtofour.len());
+        assert!(!s.eui64.is_empty());
+        assert!(s.eui64_macs.len() <= s.eui64.len());
+        assert!(s.hits > 0);
+        // Categories are disjoint.
+        assert_eq!(s.other.intersection_len(&s.sixtofour), 0);
+        assert_eq!(s.other.intersection_len(&s.teredo), 0);
+        assert_eq!(s.sixtofour.intersection_len(&s.isatap), 0);
+    }
+
+    #[test]
+    fn census_accumulates_days() {
+        let w = world();
+        let d = epochs::mar2015();
+        let c = Census::run(&w, d, d + 2);
+        assert_eq!(c.summaries().len(), 3);
+        assert!(c.summary(d).is_some());
+        assert!(c.summary(d + 3).is_none());
+        assert_eq!(c.other_daily().day_count(), 3);
+        let union = c.other_over(d.range_inclusive(d + 2));
+        assert!(union.len() >= c.summary(d).unwrap().other.len());
+    }
+
+    #[test]
+    fn week_summary_unions() {
+        let w = world();
+        let d = epochs::mar2015();
+        let c = Census::run(&w, d, d + 6);
+        let week = c.week_summary(d);
+        let day = c.summary(d).unwrap();
+        assert!(week.other.len() > day.other.len());
+        assert!(week.eui64_macs.len() >= day.eui64_macs.len());
+        // Every daily address is in the weekly union.
+        for a in day.other.iter().take(500) {
+            assert!(week.other.contains(a));
+        }
+    }
+
+    #[test]
+    fn classify_day_joins_all_dimensions() {
+        use v6census_core::spatial::DensityClass;
+        use v6census_core::temporal::StabilityParams;
+        use v6census_core::TemporalClass;
+        let w = world();
+        let d = epochs::mar2015();
+        let c = Census::run(&w, d - 7, d + 7);
+        let params = StabilityParams::three_day();
+        let records = c.classify_day(d, &params, Some(DensityClass::new(2, 112)));
+        assert_eq!(records.len(), c.other_daily().on(d).len());
+        let stable_count = records
+            .iter()
+            .filter(|r| matches!(r.temporal, TemporalClass::NdStable { .. }))
+            .count();
+        assert_eq!(
+            stable_count,
+            c.other_daily().stable_on(d, &params).len(),
+            "temporal classes must agree with the classifier"
+        );
+        let dense_count = records.iter().filter(|r| r.dense_in.is_some()).count();
+        assert!(dense_count > 0, "server blocks guarantee some dense members");
+        // The record renders with the paper's labels.
+        let rendered = records
+            .iter()
+            .find(|r| r.dense_in.is_some())
+            .unwrap()
+            .to_string();
+        assert!(rendered.contains("2@/112-dense"), "{rendered}");
+    }
+
+    #[test]
+    fn mac_grouping_is_consistent() {
+        let w = world();
+        let d = epochs::mar2015();
+        let c = Census::run(&w, d, d);
+        let s = c.summary(d).unwrap();
+        let groups = group_by_mac(&s.eui64);
+        let total: usize = groups.values().map(|v| v.len()).sum();
+        assert_eq!(total, s.eui64.len());
+        assert_eq!(groups.len(), s.eui64_macs.len());
+    }
+}

@@ -1,0 +1,30 @@
+//! The census pipeline: from aggregated logs to the paper's tables,
+//! figures, and in-text experiments.
+//!
+//! * [`ingest`] — per-day culling into Teredo / ISATAP / 6to4 / "Other"
+//!   (§4.1) and the multi-day [`ingest::Census`] store.
+//! * [`routing`] — BGP snapshot + ASN/prefix attribution.
+//! * [`tables`] — Table 1 (address characteristics), Table 2 (stability),
+//!   Table 3 (dense router prefixes), with paper-style rendering.
+//! * [`figures`] — the data series of Figures 2–5.
+//! * [`plot`] — ASCII renderings and gnuplot-ready TSV emitters.
+//! * [`svg`] — self-contained SVG renderers for MRA plots and CCDFs.
+//! * [`experiments`] — §6.1.1 router discovery, the EUI-64 analyses,
+//!   §6.2.2 dense WWW clients, §6.2.3 PTR harvest, and the ground-truth
+//!   classifier evaluation the synthetic world enables.
+//! * [`humane`] — the paper's "318M (95.8%)" number formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod figures;
+pub mod humane;
+pub mod ingest;
+pub mod plot;
+pub mod routing;
+pub mod svg;
+pub mod tables;
+
+pub use ingest::{Census, DaySummary};
+pub use routing::RoutingTable;

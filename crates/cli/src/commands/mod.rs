@@ -1,0 +1,57 @@
+//! The subcommand implementations. Each takes its input text (already
+//! read) plus parsed [`crate::Flags`] and returns the output string.
+
+mod aggregate;
+mod classify;
+mod dense;
+mod mra;
+mod profile;
+mod ptr;
+mod stability;
+mod stable;
+mod synth;
+mod targets;
+
+pub use aggregate::aggregate;
+pub use classify::classify;
+pub use dense::dense;
+pub use mra::mra;
+pub use profile::profile;
+pub use ptr::ptr;
+pub use stability::{day_from_name, stability, DayFile};
+pub use stable::stable;
+pub use synth::synth;
+pub use targets::targets;
+
+pub(crate) use synth::parse_day as synth_day;
+
+/// Usage text for the tool.
+pub const USAGE: &str = "\
+v6census — temporal & spatial classification of IPv6 addresses (IMC'15)
+
+USAGE: v6census <command> [flags]   (address input on stdin, one per line)
+
+COMMANDS
+  classify              content-based scheme per address; summary histogram
+                        [--tsv] [--malone]
+  mra                   Multi-Resolution Aggregate plot + signatures
+                        [--title T] [--tsv]
+  dense                 n@/p-dense prefixes and density report
+                        [--class 2@/112] [--table3] [--general]
+  aggregate             active aggregate counts n_p, or populations
+                        [--length P] [--populations]
+  stable                cross-epoch stability spectrum + boundary (§7.2)
+                        --earlier FILE  (current epoch on stdin)
+                        [--threshold 0.5] [--step 8] [--prefixes]
+  stability             full nd-stable analysis over daily files (§5.1)
+                        --dir DIR  (files named YYYY-MM-DD*, one addr/line)
+                        [--n 3] [--window 7] [--slew 0] [--reference DATE]
+  targets               probe-target list from dense prefixes (§6.2.2)
+                        [--class 2@/112] [--budget 10000] [--include-observed]
+  ptr                   addresses -> ip6.arpa names [--reverse]
+  profile               aguri traffic profile from `addr hits` lines
+                        [--threshold 0.01]
+  synth                 emit a synthetic day log (addr, hits, true kind)
+                        [--day 2015-03-17] [--scale 0.02] [--seed N]
+  help                  this text
+";

@@ -1,0 +1,85 @@
+//! Input parsing shared by the subcommands: address lists and
+//! `address hits` weighted lists, read from text lines.
+
+use crate::{err, CliError};
+use v6census_addr::Addr;
+use v6census_trie::AddrSet;
+
+/// Parses one address per line; blank lines and `#` comments are
+/// skipped; unparseable lines are counted, not fatal.
+pub fn parse_addr_lines(text: &str) -> (Vec<Addr>, usize) {
+    let mut addrs = Vec::new();
+    let mut bad = 0usize;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        // Accept an optional trailing column (e.g. hits) after whitespace.
+        let first = t.split_whitespace().next().unwrap_or(t);
+        match first.parse::<Addr>() {
+            Ok(a) => addrs.push(a),
+            Err(_) => bad += 1,
+        }
+    }
+    (addrs, bad)
+}
+
+/// Parses `address<ws>hits` per line into weighted entries; lines with
+/// no hits column default to weight 1.
+pub fn parse_weighted_lines(text: &str) -> (Vec<(Addr, u64)>, usize) {
+    let mut out = Vec::new();
+    let mut bad = 0usize;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut cols = t.split_whitespace();
+        let Some(addr_s) = cols.next() else { continue };
+        let Ok(addr) = addr_s.parse::<Addr>() else {
+            bad += 1;
+            continue;
+        };
+        let hits = cols
+            .next()
+            .and_then(|h| h.parse::<u64>().ok())
+            .unwrap_or(1);
+        out.push((addr, hits));
+    }
+    (out, bad)
+}
+
+/// Parses addresses into a set, failing when nothing parses.
+pub fn addr_set(text: &str) -> Result<(AddrSet, usize), CliError> {
+    let (addrs, bad) = parse_addr_lines(text);
+    if addrs.is_empty() {
+        return Err(err("no parseable IPv6 addresses in input"));
+    }
+    Ok((AddrSet::from_iter(addrs), bad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_skips() {
+        let text = "# comment\n2001:db8::1\n\nnot-an-addr\n2001:db8::2 42\n";
+        let (addrs, bad) = parse_addr_lines(text);
+        assert_eq!(addrs.len(), 2);
+        assert_eq!(bad, 1);
+        let (weighted, badw) = parse_weighted_lines(text);
+        assert_eq!(badw, 1);
+        assert_eq!(weighted[0], ("2001:db8::1".parse().unwrap(), 1));
+        assert_eq!(weighted[1], ("2001:db8::2".parse().unwrap(), 42));
+    }
+
+    #[test]
+    fn addr_set_requires_input() {
+        assert!(addr_set("garbage\n").is_err());
+        let (set, bad) = addr_set("2001:db8::1\n2001:db8::1\n").unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(bad, 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! The `v6census` command-line tool: argument splitting and I/O around
+//! the pure subcommand functions in [`v6census_cli::commands`].
+
+use std::io::Read;
+use v6census_cli::commands::{
+    aggregate, classify, day_from_name, dense, mra, profile, ptr, stability, stable, synth,
+    targets, DayFile, USAGE,
+};
+use v6census_cli::Flags;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let flags = Flags::parse(&args[1..]);
+
+    let result = match command {
+        "classify" => classify(&read_stdin(), &flags),
+        "mra" => mra(&read_stdin(), &flags),
+        "dense" => dense(&read_stdin(), &flags),
+        "aggregate" => aggregate(&read_stdin(), &flags),
+        "stable" => {
+            let earlier_path = flags.get("earlier").unwrap_or_default().to_string();
+            if earlier_path.is_empty() {
+                Err(v6census_cli::err("stable requires --earlier FILE"))
+            } else {
+                match std::fs::read_to_string(&earlier_path) {
+                    Ok(earlier) => stable(&read_stdin(), &earlier, &flags),
+                    Err(e) => Err(v6census_cli::err(format!(
+                        "cannot read --earlier {earlier_path}: {e}"
+                    ))),
+                }
+            }
+        }
+        "ptr" => ptr(&read_stdin(), &flags),
+        "targets" => targets(&read_stdin(), &flags),
+        "stability" => {
+            let dir = flags.get("dir").unwrap_or_default().to_string();
+            if dir.is_empty() {
+                Err(v6census_cli::err("stability requires --dir DIR"))
+            } else {
+                read_day_files(&dir).and_then(|days| stability(days, &flags))
+            }
+        }
+        "profile" => profile(&read_stdin(), &flags),
+        "synth" => synth(&flags),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return;
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    match result {
+        Ok(output) => {
+            // Tolerate a closed pipe (`v6census synth | head`): treat
+            // EPIPE as a normal early exit rather than a panic.
+            use std::io::Write;
+            if let Err(e) = std::io::stdout().write_all(output.as_bytes()) {
+                if e.kind() != std::io::ErrorKind::BrokenPipe {
+                    eprintln!("error writing output: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn read_day_files(dir: &str) -> Result<Vec<DayFile>, v6census_cli::CliError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| v6census_cli::err(format!("cannot read --dir {dir}: {e}")))?;
+    let mut days = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(day) = day_from_name(&name.to_string_lossy()) else {
+            continue;
+        };
+        let text = std::fs::read_to_string(entry.path())
+            .map_err(|e| v6census_cli::err(format!("cannot read {:?}: {e}", entry.path())))?;
+        days.push(DayFile { day, text });
+    }
+    Ok(days)
+}
+
+fn read_stdin() -> String {
+    let mut buf = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+        eprintln!("error reading stdin: {e}");
+        std::process::exit(1);
+    }
+    buf
+}

@@ -1,0 +1,125 @@
+//! Box-plot statistics for distributions of aggregation ratios across
+//! prefixes (Figure 5b).
+//!
+//! The paper's Figure 5b box plots are richer than the usual five-number
+//! summary: they show the median, middle 50%, middle 90%, and whiskers to
+//! the absolute maximum. [`BoxStats`] captures exactly those percentiles.
+
+use std::fmt;
+
+/// The percentile summary one box of Figure 5b displays.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoxStats {
+    /// Absolute minimum.
+    pub min: f64,
+    /// 5th percentile (lower edge of the middle 90%).
+    pub p5: f64,
+    /// 25th percentile (lower edge of the middle 50%).
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Absolute maximum (the paper's whisker end).
+    pub max: f64,
+    /// Number of samples summarized.
+    pub count: usize,
+}
+
+impl BoxStats {
+    /// Computes the summary from samples. Returns `None` for an empty
+    /// input.
+    pub fn of(samples: &[f64]) -> Option<BoxStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+        let q = |p: f64| -> f64 {
+            // Nearest-rank with linear interpolation between neighbours.
+            let rank = p * (v.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            if lo == hi {
+                v[lo]
+            } else {
+                let frac = rank - lo as f64;
+                v[lo] * (1.0 - frac) + v[hi] * frac
+            }
+        };
+        Some(BoxStats {
+            min: v[0],
+            p5: q(0.05),
+            p25: q(0.25),
+            median: q(0.50),
+            p75: q(0.75),
+            p95: q(0.95),
+            max: *v.last().expect("nonempty"),
+            count: v.len(),
+        })
+    }
+}
+
+impl fmt::Display for BoxStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "min {:.3} | p5 {:.3} | p25 {:.3} | med {:.3} | p75 {:.3} | p95 {:.3} | max {:.3} (n={})",
+            self.min, self.p5, self.p25, self.median, self.p75, self.p95, self.max, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_numbers_of_known_data() {
+        let samples: Vec<f64> = (1..=101).map(|i| i as f64).collect();
+        let b = BoxStats::of(&samples).unwrap();
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 101.0);
+        assert_eq!(b.median, 51.0);
+        assert_eq!(b.p25, 26.0);
+        assert_eq!(b.p75, 76.0);
+        assert_eq!(b.p5, 6.0);
+        assert_eq!(b.p95, 96.0);
+        assert_eq!(b.count, 101);
+    }
+
+    #[test]
+    fn single_sample() {
+        let b = BoxStats::of(&[2.5]).unwrap();
+        assert_eq!(b.min, 2.5);
+        assert_eq!(b.median, 2.5);
+        assert_eq!(b.max, 2.5);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(BoxStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn ordering_invariant() {
+        let samples = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0];
+        let b = BoxStats::of(&samples).unwrap();
+        assert!(b.min <= b.p5);
+        assert!(b.p5 <= b.p25);
+        assert!(b.p25 <= b.median);
+        assert!(b.median <= b.p75);
+        assert!(b.p75 <= b.p95);
+        assert!(b.p95 <= b.max);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let b = BoxStats::of(&[1.0, 2.0]).unwrap();
+        let s = b.to_string();
+        assert!(s.contains("med"));
+        assert!(s.contains("n=2"));
+    }
+}

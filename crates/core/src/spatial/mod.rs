@@ -1,0 +1,12 @@
+//! Spatial classification (§5.2): MRA count ratios, aggregate population
+//! distributions, and prefix density.
+
+mod density;
+mod distribution;
+mod mra;
+mod population;
+
+pub use density::{DensityClass, DensityClassParseError, DensityReport};
+pub use distribution::BoxStats;
+pub use mra::{MraCurve, MraResolution, PrivacySignature};
+pub use population::Ccdf;

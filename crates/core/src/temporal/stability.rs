@@ -1,0 +1,436 @@
+//! The nd-stable classifier over daily observation sets (§5.1).
+
+use super::Day;
+use std::collections::BTreeMap;
+use v6census_trie::AddrSet;
+
+/// Parameters of an nd-stability assessment.
+///
+/// Definition (§5.1): an address is **nd-stable** when there exist
+/// observations of activity on two different days with an intervening
+/// period of at least *n−1* days — equivalently, on two days at distance
+/// ≥ *n*. Assessment is relative to a reference day inside a sliding
+/// window spanning `back` days before through `fwd` days after; the
+/// paper's canonical window is `(-7d,+7d)`.
+///
+/// `slew_tolerance` accommodates the log-processing timestamp slew of
+/// §4.1: aggregated logs complete up to a day after the requests occurred,
+/// so two "log processed dates" at distance *k* may reflect activity as
+/// close as *k − slew* days apart. A non-zero tolerance makes the
+/// classifier conservative by requiring distance ≥ *n + slew* before
+/// declaring nd-stability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StabilityParams {
+    /// The *n* of nd-stable: minimum day distance between observations.
+    pub n: u32,
+    /// Window reach before the reference day, in days.
+    pub back: u32,
+    /// Window reach after the reference day, in days.
+    pub fwd: u32,
+    /// Extra distance demanded to absorb log-timestamp slew (§4.1).
+    pub slew_tolerance: u32,
+}
+
+impl StabilityParams {
+    /// nd-stability with the paper's canonical `(-7d,+7d)` window and no
+    /// slew tolerance.
+    pub const fn nd(n: u32) -> StabilityParams {
+        StabilityParams {
+            n,
+            back: 7,
+            fwd: 7,
+            slew_tolerance: 0,
+        }
+    }
+
+    /// The paper's headline class: `3d-stable (-7d,+7d)`.
+    pub const fn three_day() -> StabilityParams {
+        StabilityParams::nd(3)
+    }
+
+    /// Replaces the window, keeping n and slew.
+    pub const fn with_window(self, back: u32, fwd: u32) -> StabilityParams {
+        StabilityParams { back, fwd, ..self }
+    }
+
+    /// Replaces the slew tolerance.
+    pub const fn with_slew(self, slew_tolerance: u32) -> StabilityParams {
+        StabilityParams {
+            slew_tolerance,
+            ..self
+        }
+    }
+
+    /// The class label in the paper's notation, e.g. `3d-stable (-7d,+7d)`.
+    pub fn label(&self) -> String {
+        format!("{}d-stable (-{}d,+{}d)", self.n, self.back, self.fwd)
+    }
+
+    /// Effective minimum distance between observation days.
+    fn min_distance(&self) -> u32 {
+        self.n + self.slew_tolerance
+    }
+}
+
+/// Per-day sets of active addresses (or prefixes): the input to temporal
+/// classification.
+///
+/// The same engine classifies full addresses and /64s — record /64-mapped
+/// sets (via [`AddrSet::map_prefix`]) in a second store, or use
+/// [`DailyObservations::prefix_view`].
+#[derive(Clone, Debug, Default)]
+pub struct DailyObservations {
+    days: BTreeMap<Day, AddrSet>,
+}
+
+/// The outcome of a weekly stability assessment (Table 2c/2d): for each of
+/// the seven days the nd-stable set is determined; the weekly classes are
+/// the unions.
+#[derive(Clone, Debug)]
+pub struct WeeklyStability {
+    /// Unique addresses active during the week.
+    pub active: AddrSet,
+    /// Unique addresses nd-stable on at least one day of the week.
+    pub stable: AddrSet,
+    /// Unique active addresses never assessed nd-stable — the paper's
+    /// "not nd-stable", meaning only that stability was not witnessed.
+    pub not_stable: AddrSet,
+}
+
+/// The outcome of a cross-epoch stability assessment (the `6m-stable
+/// (-6m)` and `1y-stable (-1y)` rows of Table 2).
+#[derive(Clone, Debug)]
+pub struct EpochStability {
+    /// Addresses active in the current epoch and the earlier one.
+    pub stable: AddrSet,
+    /// Size of the current epoch's active set (the percentage base).
+    pub current_total: usize,
+}
+
+impl EpochStability {
+    /// The stable fraction of the current epoch's actives.
+    pub fn fraction(&self) -> f64 {
+        if self.current_total == 0 {
+            0.0
+        } else {
+            self.stable.len() as f64 / self.current_total as f64
+        }
+    }
+}
+
+impl DailyObservations {
+    /// Creates an empty store.
+    pub fn new() -> DailyObservations {
+        DailyObservations::default()
+    }
+
+    /// Records (or merges) the active set observed on `day`.
+    pub fn record(&mut self, day: Day, set: AddrSet) {
+        self.days
+            .entry(day)
+            .and_modify(|existing| *existing = existing.union(&set))
+            .or_insert(set);
+    }
+
+    /// The active set for a day (empty when unobserved).
+    pub fn on(&self, day: Day) -> AddrSet {
+        self.days.get(&day).cloned().unwrap_or_default()
+    }
+
+    /// Borrowing accessor for a day's set.
+    pub fn get(&self, day: Day) -> Option<&AddrSet> {
+        self.days.get(&day)
+    }
+
+    /// The observed days in ascending order.
+    pub fn days(&self) -> impl Iterator<Item = Day> + '_ {
+        self.days.keys().copied()
+    }
+
+    /// Number of days with observations.
+    pub fn day_count(&self) -> usize {
+        self.days.len()
+    }
+
+    /// A store of the same days with every set mapped to its containing
+    /// `/len` blocks — e.g. `prefix_view(64)` for the paper's /64
+    /// stability analysis (Table 2b/2d).
+    pub fn prefix_view(&self, len: u8) -> DailyObservations {
+        DailyObservations {
+            days: self
+                .days
+                .iter()
+                .map(|(&d, set)| (d, set.map_prefix(len)))
+                .collect(),
+        }
+    }
+
+    /// Addresses active on `reference` that are nd-stable per `params`:
+    /// also active on some observed day `d` in the window with
+    /// `|d − reference| ≥ n + slew`.
+    pub fn stable_on(&self, reference: Day, params: &StabilityParams) -> AddrSet {
+        let active = match self.days.get(&reference) {
+            Some(s) => s,
+            None => return AddrSet::new(),
+        };
+        let lo = reference - params.back as i32;
+        let hi = reference + params.fwd as i32;
+        let min_d = params.min_distance() as i32;
+        let witnesses: Vec<&AddrSet> = self
+            .days
+            .range(lo..=hi)
+            .filter(|&(&d, _)| (d - reference).abs() >= min_d)
+            .map(|(_, s)| s)
+            .collect();
+        // Union of witnesses ∩ active-on-reference.
+        let mut out = AddrSet::new();
+        for w in witnesses {
+            out = out.union(&active.intersection(w));
+        }
+        out
+    }
+
+    /// Addresses active on `reference` but *not* witnessed nd-stable —
+    /// the complement of [`DailyObservations::stable_on`] within the
+    /// reference day's actives.
+    pub fn not_stable_on(&self, reference: Day, params: &StabilityParams) -> AddrSet {
+        let active = self.on(reference);
+        let stable = self.stable_on(reference, params);
+        AddrSet::from_iter(active.iter().filter(|&a| !stable.contains(a)))
+    }
+
+    /// Weekly stability (Table 2c/2d): for each day in
+    /// `first..=first+6`, determine the nd-stable set; report unions.
+    pub fn stable_over_week(&self, first: Day, params: &StabilityParams) -> WeeklyStability {
+        self.stable_over_days(first.range_inclusive(first + 6), params)
+    }
+
+    /// Generalization of [`DailyObservations::stable_over_week`] to any
+    /// set of reference days.
+    pub fn stable_over_days<I: IntoIterator<Item = Day>>(
+        &self,
+        days: I,
+        params: &StabilityParams,
+    ) -> WeeklyStability {
+        let mut active = AddrSet::new();
+        let mut stable = AddrSet::new();
+        for d in days {
+            if let Some(s) = self.days.get(&d) {
+                active = active.union(s);
+            }
+            stable = stable.union(&self.stable_on(d, params));
+        }
+        let not_stable = AddrSet::from_iter(active.iter().filter(|&a| !stable.contains(a)));
+        WeeklyStability {
+            active,
+            stable,
+            not_stable,
+        }
+    }
+
+    /// Cross-epoch stability (the `6m-stable (-6m)` / `1y-stable (-1y)`
+    /// rows): addresses active in the current epoch (union over
+    /// `current`) that were also active in the earlier epoch (union over
+    /// `earlier`). The percentage base is the current epoch's active
+    /// count.
+    pub fn epoch_stable(
+        &self,
+        current: impl IntoIterator<Item = Day>,
+        earlier: impl IntoIterator<Item = Day>,
+    ) -> EpochStability {
+        let cur = AddrSet::union_all(current.into_iter().filter_map(|d| self.days.get(&d)));
+        let old = AddrSet::union_all(earlier.into_iter().filter_map(|d| self.days.get(&d)));
+        EpochStability {
+            stable: cur.intersection(&old),
+            current_total: cur.len(),
+        }
+    }
+
+    /// The Figure 4 series: for every observed day, the day's active
+    /// count and the size of its intersection with the reference day's
+    /// active set.
+    pub fn reference_overlap_series(&self, reference: Day) -> Vec<(Day, usize, usize)> {
+        let ref_set = self.on(reference);
+        self.days
+            .iter()
+            .map(|(&d, s)| (d, s.len(), ref_set.intersection_len(s)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v6census_addr::Addr;
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn set(addrs: &[&str]) -> AddrSet {
+        AddrSet::from_iter(addrs.iter().map(|s| a(s)))
+    }
+
+    fn day(d: u8) -> Day {
+        Day::from_ymd(2015, 3, d)
+    }
+
+    #[test]
+    fn paper_examples_from_section_5_1() {
+        // "A given address seen on March 17 and again on March 18 ... is
+        // 1d-stable. An address seen on March 17 and on March 19 ... is
+        // 2d-stable [and therefore also 1d-stable]."
+        let mut obs = DailyObservations::new();
+        let x = a("2001:db8::1718");
+        let y = a("2001:db8::1719");
+        obs.record(day(17), set(&["2001:db8::1718", "2001:db8::1719"]));
+        obs.record(day(18), set(&["2001:db8::1718"]));
+        obs.record(day(19), set(&["2001:db8::1719"]));
+
+        let s1 = obs.stable_on(day(17), &StabilityParams::nd(1));
+        assert!(s1.contains(x));
+        assert!(s1.contains(y));
+
+        let s2 = obs.stable_on(day(17), &StabilityParams::nd(2));
+        assert!(!s2.contains(x));
+        assert!(s2.contains(y), "Mar 17 + Mar 19 is 2d-stable");
+
+        // nd-stable implies (n-1)d-stable: s2 ⊆ s1.
+        for addr in s2.iter() {
+            assert!(s1.contains(addr));
+        }
+    }
+
+    #[test]
+    fn window_limits_witnesses() {
+        let mut obs = DailyObservations::new();
+        obs.record(day(17), set(&["2001:db8::1"]));
+        obs.record(day(27), set(&["2001:db8::1"])); // 10 days later
+        let p = StabilityParams::nd(3); // (-7d,+7d)
+        assert!(obs.stable_on(day(17), &p).is_empty(), "outside window");
+        let wide = p.with_window(7, 10);
+        assert!(!obs.stable_on(day(17), &wide).is_empty());
+    }
+
+    #[test]
+    fn backward_witnesses_count() {
+        let mut obs = DailyObservations::new();
+        obs.record(day(12), set(&["2001:db8::1"]));
+        obs.record(day(17), set(&["2001:db8::1", "2001:db8::2"]));
+        let s = obs.stable_on(day(17), &StabilityParams::nd(3));
+        assert!(s.contains(a("2001:db8::1")));
+        assert!(!s.contains(a("2001:db8::2")));
+    }
+
+    #[test]
+    fn slew_tolerance_is_conservative() {
+        let mut obs = DailyObservations::new();
+        obs.record(day(17), set(&["2001:db8::1"]));
+        obs.record(day(20), set(&["2001:db8::1"]));
+        let p = StabilityParams::nd(3);
+        assert_eq!(obs.stable_on(day(17), &p).len(), 1);
+        // With 1-day slew, distance 3 no longer proves 3d-stability.
+        assert!(obs.stable_on(day(17), &p.with_slew(1)).is_empty());
+        // Distance 4 does.
+        obs.record(day(21), set(&["2001:db8::1"]));
+        assert_eq!(obs.stable_on(day(17), &p.with_slew(1)).len(), 1);
+    }
+
+    #[test]
+    fn unobserved_reference_day_is_empty() {
+        let obs = DailyObservations::new();
+        assert!(obs.stable_on(day(17), &StabilityParams::three_day()).is_empty());
+        assert!(obs.on(day(17)).is_empty());
+    }
+
+    #[test]
+    fn not_stable_partitions_actives() {
+        let mut obs = DailyObservations::new();
+        obs.record(day(17), set(&["2001:db8::1", "2001:db8::2", "2001:db8::3"]));
+        obs.record(day(20), set(&["2001:db8::1"]));
+        let p = StabilityParams::three_day();
+        let stable = obs.stable_on(day(17), &p);
+        let not = obs.not_stable_on(day(17), &p);
+        assert_eq!(stable.len() + not.len(), 3);
+        assert_eq!(stable.intersection_len(&not), 0);
+    }
+
+    #[test]
+    fn weekly_union_semantics() {
+        let mut obs = DailyObservations::new();
+        // Address A stable relative to Mar 18 (seen 18 and 23);
+        // address B active only once.
+        for d in [18u8, 23] {
+            obs.record(day(d), set(&["2001:db8::a"]));
+        }
+        obs.record(day(19), set(&["2001:db8::b"]));
+        let w = obs.stable_over_week(day(17), &StabilityParams::nd(3));
+        assert_eq!(w.active.len(), 2);
+        assert_eq!(w.stable.len(), 1);
+        assert!(w.stable.contains(a("2001:db8::a")));
+        assert_eq!(w.not_stable.len(), 1);
+        assert!(w.not_stable.contains(a("2001:db8::b")));
+        // Partition invariant: stable ∪ not = active, disjoint.
+        assert_eq!(w.stable.len() + w.not_stable.len(), w.active.len());
+    }
+
+    #[test]
+    fn epoch_stability() {
+        let mut obs = DailyObservations::new();
+        let mar14 = Day::from_ymd(2014, 3, 17);
+        obs.record(mar14, set(&["2001:db8::1", "2001:db8::9"]));
+        obs.record(day(17), set(&["2001:db8::1", "2001:db8::2"]));
+        let e = obs.epoch_stable([day(17)], [mar14]);
+        assert_eq!(e.stable.len(), 1);
+        assert!(e.stable.contains(a("2001:db8::1")));
+        assert_eq!(e.current_total, 2);
+        assert!((e.fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_view_generalizes_to_64s() {
+        let mut obs = DailyObservations::new();
+        // Two privacy addresses in the same /64 on different days: the
+        // addresses are not stable, but the /64 is.
+        obs.record(day(17), set(&["2001:db8:0:1:aaaa::1"]));
+        obs.record(day(20), set(&["2001:db8:0:1:bbbb::2"]));
+        let p = StabilityParams::three_day();
+        assert!(obs.stable_on(day(17), &p).is_empty());
+        let v64 = obs.prefix_view(64);
+        let s = v64.stable_on(day(17), &p);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(a("2001:db8:0:1::")));
+    }
+
+    #[test]
+    fn reference_overlap_series_shapes_figure_4() {
+        let mut obs = DailyObservations::new();
+        obs.record(day(16), set(&["2001:db8::1", "2001:db8::9"]));
+        obs.record(day(17), set(&["2001:db8::1", "2001:db8::2"]));
+        obs.record(day(18), set(&["2001:db8::2", "2001:db8::7"]));
+        let series = obs.reference_overlap_series(day(17));
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0], (day(16), 2, 1));
+        assert_eq!(series[1], (day(17), 2, 2)); // self-overlap is full
+        assert_eq!(series[2], (day(18), 2, 1));
+    }
+
+    #[test]
+    fn record_merges() {
+        let mut obs = DailyObservations::new();
+        obs.record(day(17), set(&["2001:db8::1"]));
+        obs.record(day(17), set(&["2001:db8::2"]));
+        assert_eq!(obs.on(day(17)).len(), 2);
+        assert_eq!(obs.day_count(), 1);
+        assert_eq!(obs.days().collect::<Vec<_>>(), vec![day(17)]);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(StabilityParams::nd(3).label(), "3d-stable (-7d,+7d)");
+        assert_eq!(
+            StabilityParams::nd(1).with_window(0, 14).label(),
+            "1d-stable (-0d,+14d)"
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Ground-truth labels for synthetic addresses.
+//!
+//! The real study had no ground truth — that is its premise. The synthetic
+//! world *does*, which lets the test suite and experiments quantify
+//! classifier behaviour (e.g. the Malone content-only baseline's recall
+//! against true privacy addresses, §2) in a way the paper could only
+//! estimate.
+
+use v6census_addr::Mac;
+
+/// What an address *actually is* in the synthetic world.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TrueKind {
+    /// RFC 4941 privacy IID, regenerated every `rotation_days` days.
+    Privacy {
+        /// Days between IID regenerations (1 = default 24 h lifetime).
+        rotation_days: u16,
+    },
+    /// RFC 7217 stable-privacy IID: opaque but constant per (device,
+    /// subnet).
+    StablePrivacy,
+    /// SLAAC modified EUI-64 IID embedding the device MAC.
+    Eui64 {
+        /// The embedded MAC address.
+        mac: Mac,
+    },
+    /// A fixed interface identifier burned into the device or chipset —
+    /// including the shared values the paper found on many mobile devices
+    /// simultaneously (§1 highlights).
+    FixedIid,
+    /// An address from a DHCPv6 pool of small sequential IIDs.
+    Dhcp,
+    /// A statically assigned server/infrastructure address.
+    StaticServer,
+    /// An always-on CPE / home-gateway client with a stable address.
+    Cpe,
+    /// A 6to4 client (2002::/16).
+    SixToFour,
+    /// A Teredo client (2001::/32).
+    Teredo,
+    /// An ISATAP host (IID `[02]00:5efe` + IPv4).
+    Isatap,
+}
+
+impl TrueKind {
+    /// True when the address is genuinely ephemeral by construction
+    /// (rotating privacy IIDs).
+    pub const fn is_ephemeral(self) -> bool {
+        matches!(self, TrueKind::Privacy { .. })
+    }
+
+    /// True for the transition mechanisms the census culls (§4.1).
+    pub const fn is_transition(self) -> bool {
+        matches!(
+            self,
+            TrueKind::SixToFour | TrueKind::Teredo | TrueKind::Isatap
+        )
+    }
+
+    /// A short label for reports and TSV output.
+    pub const fn label(self) -> &'static str {
+        match self {
+            TrueKind::Privacy { .. } => "privacy",
+            TrueKind::StablePrivacy => "stable-privacy",
+            TrueKind::Eui64 { .. } => "eui64",
+            TrueKind::FixedIid => "fixed-iid",
+            TrueKind::Dhcp => "dhcp",
+            TrueKind::StaticServer => "static-server",
+            TrueKind::Cpe => "cpe",
+            TrueKind::SixToFour => "6to4",
+            TrueKind::Teredo => "teredo",
+            TrueKind::Isatap => "isatap",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(TrueKind::Privacy { rotation_days: 1 }.is_ephemeral());
+        assert!(!TrueKind::StablePrivacy.is_ephemeral());
+        assert!(TrueKind::Teredo.is_transition());
+        assert!(TrueKind::SixToFour.is_transition());
+        assert!(TrueKind::Isatap.is_transition());
+        assert!(!TrueKind::Cpe.is_transition());
+    }
+
+    #[test]
+    fn labels_distinct() {
+        let kinds = [
+            TrueKind::Privacy { rotation_days: 1 },
+            TrueKind::StablePrivacy,
+            TrueKind::Eui64 {
+                mac: Mac::PAPER_DUPLICATE,
+            },
+            TrueKind::FixedIid,
+            TrueKind::Dhcp,
+            TrueKind::StaticServer,
+            TrueKind::Cpe,
+            TrueKind::SixToFour,
+            TrueKind::Teredo,
+            TrueKind::Isatap,
+        ];
+        let mut labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), kinds.len());
+    }
+}

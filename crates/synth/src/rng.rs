@@ -1,0 +1,235 @@
+//! Deterministic pseudorandom machinery for the synthetic world.
+//!
+//! Everything in `v6census-synth` is a **pure function of (seed, entity
+//! identifiers, day)** — there is no mutable generator state threaded
+//! through the simulation. That is what makes any day of the simulated
+//! year producible independently and in parallel, and every experiment
+//! exactly reproducible. The primitive is a SplitMix64-style hash over an
+//! identifier tuple; a small xoshiro256** generator is provided where a
+//! stream of values is genuinely needed.
+
+/// SplitMix64 finalizer: a high-quality 64→64 bit mixer.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hashes an identifier tuple into a uniform `u64`.
+#[inline]
+pub fn hash_ids(seed: u64, ids: &[u64]) -> u64 {
+    let mut h = splitmix64(seed ^ 0x6a09_e667_f3bc_c909);
+    for &id in ids {
+        h = splitmix64(h ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    }
+    h
+}
+
+/// A deterministic entropy source keyed by a world seed.
+///
+/// Each method derives an independent value from `(seed, salt, ids)`;
+/// distinct salts give independent "channels" for the same entity. Salts
+/// are ASCII tags (`b"actv"`, `b"tenu"`, …) so collisions between
+/// channels are structurally impossible to introduce silently.
+#[derive(Clone, Copy, Debug)]
+pub struct Entropy {
+    seed: u64,
+}
+
+impl Entropy {
+    /// Creates an entropy source for a world seed.
+    pub const fn new(seed: u64) -> Entropy {
+        Entropy { seed }
+    }
+
+    /// A uniform `u64` for `(salt, ids)`.
+    #[inline]
+    pub fn u64(&self, salt: &[u8; 4], ids: &[u64]) -> u64 {
+        let s = u32::from_le_bytes(*salt) as u64;
+        hash_ids(self.seed ^ (s << 32 | s), ids)
+    }
+
+    /// A uniform value in `0..n` (n ≥ 1), via 128-bit multiply (unbiased
+    /// enough for simulation purposes).
+    #[inline]
+    pub fn below(&self, salt: &[u8; 4], ids: &[u64], n: u64) -> u64 {
+        debug_assert!(n >= 1);
+        ((self.u64(salt, ids) as u128 * n as u128) >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit(&self, salt: &[u8; 4], ids: &[u64]) -> f64 {
+        (self.u64(salt, ids) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli draw with probability `p`.
+    #[inline]
+    pub fn chance(&self, salt: &[u8; 4], ids: &[u64], p: f64) -> bool {
+        self.unit(salt, ids) < p
+    }
+
+    /// A geometric-ish positive integer with the given mean, capped —
+    /// used for device counts, hit counts, and similar small quantities.
+    pub fn small_count(&self, salt: &[u8; 4], ids: &[u64], mean: f64, cap: u64) -> u64 {
+        // Inverse-CDF of a geometric distribution with success prob 1/mean.
+        let u = self.unit(salt, ids).max(1e-12);
+        let p = 1.0 / mean.max(1.0);
+        let k = (u.ln() / (1.0 - p).ln()).floor() as u64 + 1;
+        k.min(cap)
+    }
+
+    /// A Zipf-like rank draw in `0..n` with exponent ~1: low ranks are
+    /// heavily favoured. Used for picking among a small set of shared
+    /// fixed IIDs.
+    pub fn zipf_rank(&self, salt: &[u8; 4], ids: &[u64], n: u64) -> u64 {
+        debug_assert!(n >= 1);
+        let u = self.unit(salt, ids).max(1e-12);
+        // Inverse CDF of p(k) ∝ 1/(k+1): CDF ≈ ln(k+1)/ln(n+1).
+        let k = ((n as f64 + 1.0).powf(u) - 1.0).floor() as u64;
+        k.min(n - 1)
+    }
+
+    /// A dedicated stream generator for `(salt, ids)`.
+    pub fn stream(&self, salt: &[u8; 4], ids: &[u64]) -> Xoshiro256 {
+        let base = self.u64(salt, ids);
+        Xoshiro256::seeded(base)
+    }
+}
+
+/// xoshiro256** — a small, fast, high-quality PRNG for the few places
+/// that need a sequence rather than a hash.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seeds the state by running SplitMix64 from `seed`, per the
+    /// reference implementation's recommendation.
+    pub fn seeded(seed: u64) -> Xoshiro256 {
+        let mut s = [0u64; 4];
+        let mut z = seed;
+        for slot in &mut s {
+            z = splitmix64(z);
+            *slot = z;
+        }
+        Xoshiro256 { s }
+    }
+
+    /// The next `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value in `0..n` (n ≥ 1).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n >= 1);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let e = Entropy::new(42);
+        assert_eq!(e.u64(b"test", &[1, 2]), e.u64(b"test", &[1, 2]));
+        assert_ne!(e.u64(b"test", &[1, 2]), e.u64(b"test", &[2, 1]));
+        assert_ne!(e.u64(b"tesa", &[1, 2]), e.u64(b"tesb", &[1, 2]));
+        assert_ne!(Entropy::new(1).u64(b"test", &[]), Entropy::new(2).u64(b"test", &[]));
+    }
+
+    #[test]
+    fn below_in_range_and_roughly_uniform() {
+        let e = Entropy::new(7);
+        let mut counts = [0u32; 10];
+        for i in 0..10_000u64 {
+            let v = e.below(b"unif", &[i], 10);
+            counts[v as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let e = Entropy::new(7);
+        let mut sum = 0.0;
+        for i in 0..10_000u64 {
+            let u = e.unit(b"unit", &[i]);
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let e = Entropy::new(3);
+        let hits = (0..100_000u64)
+            .filter(|&i| e.chance(b"coin", &[i], 0.3))
+            .count();
+        assert!((28_000..32_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn small_count_mean_and_cap() {
+        let e = Entropy::new(9);
+        let mut sum = 0u64;
+        for i in 0..50_000u64 {
+            let c = e.small_count(b"smcn", &[i], 2.5, 16);
+            assert!((1..=16).contains(&c));
+            sum += c;
+        }
+        let mean = sum as f64 / 50_000.0;
+        assert!((2.0..3.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_rank_skews_low() {
+        let e = Entropy::new(11);
+        let mut counts = [0u32; 8];
+        for i in 0..80_000u64 {
+            counts[e.zipf_rank(b"zipf", &[i], 8) as usize] += 1;
+        }
+        assert!(counts[0] > counts[3], "{counts:?}");
+        assert!(counts[0] > 4 * counts[7], "{counts:?}");
+    }
+
+    #[test]
+    fn xoshiro_stream_is_reproducible() {
+        let mut a = Xoshiro256::seeded(5);
+        let mut b = Xoshiro256::seeded(5);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Xoshiro256::seeded(6);
+        assert_ne!(a.next_u64(), c.next_u64());
+        for _ in 0..100 {
+            assert!(c.below(10) < 10);
+            assert!(c.unit() < 1.0);
+        }
+    }
+}

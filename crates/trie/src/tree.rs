@@ -1,0 +1,901 @@
+//! [`RadixTree`]: a path-compressed binary (Patricia) trie with per-node
+//! counts — the *aguri tree* of Cho et al., extended with the paper's
+//! densify operation (§5.2.3) — and [`PrefixMap`], a generic
+//! longest-prefix-match map used for BGP routing tables.
+
+use v6census_addr::{Addr, Prefix};
+
+/// A dense prefix reported by [`RadixTree::densify`] or
+/// [`crate::dense_prefixes_at`]: the block and the number of observed
+/// addresses it contains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DensePrefix {
+    /// The dense block.
+    pub prefix: Prefix,
+    /// Observed addresses inside the block.
+    pub count: u64,
+}
+
+impl DensePrefix {
+    /// The number of addresses the block spans (2^(128−len)); `None` for
+    /// `::/0`.
+    pub fn possible(&self) -> Option<u128> {
+        self.prefix.span()
+    }
+
+    /// Observed density: `count / span`.
+    pub fn density(&self) -> f64 {
+        match self.prefix.span() {
+            Some(s) => self.count as f64 / s as f64,
+            None => 0.0,
+        }
+    }
+}
+
+struct Node {
+    prefix: Prefix,
+    count: u64,
+    children: [Option<Box<Node>>; 2],
+}
+
+impl Node {
+    fn leaf(prefix: Prefix, count: u64) -> Box<Node> {
+        Box::new(Node {
+            prefix,
+            count,
+            children: [None, None],
+        })
+    }
+
+    fn subtree_sum(&self) -> u64 {
+        let mut s = self.count;
+        for c in self.children.iter().flatten() {
+            s += c.subtree_sum();
+        }
+        s
+    }
+}
+
+/// A path-compressed binary radix (Patricia) trie keyed by IPv6 prefixes,
+/// carrying a count on every node.
+///
+/// Counts land on the exact node for the inserted prefix; branch nodes
+/// created by path splitting carry count 0 until something is inserted at
+/// their prefix. [`RadixTree::densify`] and
+/// [`RadixTree::aguri_aggregate`] reason over *subtree* sums.
+///
+/// ```
+/// use v6census_trie::RadixTree;
+/// let mut t = RadixTree::new();
+/// t.insert_addr("2001:db8::1".parse().unwrap(), 1);
+/// t.insert_addr("2001:db8::4".parse().unwrap(), 1);
+/// // Least-specific 2@/112-dense prefix, per the paper's §5.2.2 example:
+/// let dense = t.densify(2, 112);
+/// assert_eq!(dense.len(), 1);
+/// assert_eq!(dense[0].prefix.to_string(), "2001:db8::/112");
+/// ```
+#[derive(Default)]
+pub struct RadixTree {
+    root: Option<Box<Node>>,
+    total: u64,
+    nodes: usize,
+}
+
+impl RadixTree {
+    /// Creates an empty tree.
+    pub fn new() -> RadixTree {
+        RadixTree::default()
+    }
+
+    /// Sum of all inserted counts.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of nodes currently in the tree (including zero-count branch
+    /// nodes) — a resource-constraint observable, per the aguri design.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Inserts a host address with the given count (step 1 of §5.2.3).
+    pub fn insert_addr(&mut self, a: Addr, count: u64) {
+        self.insert(Prefix::host(a), count);
+    }
+
+    /// Inserts a prefix with the given count, accumulating when the exact
+    /// prefix is already present.
+    pub fn insert(&mut self, p: Prefix, count: u64) {
+        self.total += count;
+        let mut created = 0usize;
+        Self::insert_into(&mut self.root, p, count, &mut created);
+        self.nodes += created;
+    }
+
+    fn insert_into(slot: &mut Option<Box<Node>>, p: Prefix, count: u64, created: &mut usize) {
+        let node = match slot {
+            None => {
+                *slot = Some(Node::leaf(p, count));
+                *created += 1;
+                return;
+            }
+            Some(n) => n,
+        };
+
+        if node.prefix == p {
+            node.count += count;
+            return;
+        }
+
+        if node.prefix.contains(p) {
+            // Descend: branch on the first bit of p beyond node's prefix.
+            let bit = p.addr().bit(node.prefix.len() as usize) as usize;
+            Self::insert_into(&mut node.children[bit], p, count, created);
+            return;
+        }
+
+        if p.contains(node.prefix) {
+            // p is an ancestor of the current node: splice a new node in.
+            let old = slot.take().expect("checked above");
+            let bit = old.prefix.addr().bit(p.len() as usize) as usize;
+            let mut new_node = Node::leaf(p, count);
+            new_node.children[bit] = Some(old);
+            *slot = Some(new_node);
+            *created += 1;
+            return;
+        }
+
+        // Divergence: create a branch node at the longest common prefix.
+        let cpl = p
+            .addr()
+            .common_prefix_len(node.prefix.addr())
+            .min(p.len())
+            .min(node.prefix.len());
+        let branch_prefix = Prefix::new(p.addr(), cpl);
+        let old = slot.take().expect("checked above");
+        let old_bit = old.prefix.addr().bit(cpl as usize) as usize;
+        let new_bit = p.addr().bit(cpl as usize) as usize;
+        debug_assert_ne!(old_bit, new_bit, "divergence must separate the keys");
+        let mut branch = Node::leaf(branch_prefix, 0);
+        branch.children[old_bit] = Some(old);
+        branch.children[new_bit] = Some(Node::leaf(p, count));
+        *slot = Some(branch);
+        *created += 2;
+    }
+
+    /// The count stored at exactly this prefix (0 when absent).
+    pub fn get(&self, p: Prefix) -> u64 {
+        let mut cur = &self.root;
+        while let Some(node) = cur {
+            if node.prefix == p {
+                return node.count;
+            }
+            if !node.prefix.contains(p) {
+                return 0;
+            }
+            let bit = p.addr().bit(node.prefix.len() as usize) as usize;
+            cur = &node.children[bit];
+        }
+        0
+    }
+
+    /// In-order list of `(prefix, count)` for every node with a non-zero
+    /// count.
+    pub fn entries(&self) -> Vec<(Prefix, u64)> {
+        let mut out = Vec::new();
+        fn walk(n: &Option<Box<Node>>, out: &mut Vec<(Prefix, u64)>) {
+            if let Some(node) = n {
+                if node.count > 0 {
+                    out.push((node.prefix, node.count));
+                }
+                walk(&node.children[0], out);
+                walk(&node.children[1], out);
+            }
+        }
+        walk(&self.root, &mut out);
+        out
+    }
+
+    /// Sum of counts in the subtree rooted at `p` — the number of observed
+    /// addresses inside block `p` when the tree was built with
+    /// [`RadixTree::insert_addr`].
+    pub fn count_within(&self, p: Prefix) -> u64 {
+        let mut cur = &self.root;
+        while let Some(node) = cur {
+            if p.contains(node.prefix) {
+                return node.subtree_sum();
+            }
+            if !node.prefix.contains(p) {
+                return 0;
+            }
+            // p is strictly inside node's block; node.count belongs to the
+            // shorter node.prefix, so only the matching child can intersect.
+            let bit = p.addr().bit(node.prefix.len() as usize) as usize;
+            // node's own count sits at node.prefix which is outside p
+            // (shorter), so only the matching child subtree can intersect.
+            cur = &node.children[bit];
+        }
+        0
+    }
+
+    /// The paper's **densify** operation (§5.2.3), generalized to report
+    /// the *least-specific, non-overlapping* prefixes of density at least
+    /// `n/2^(128−p)` that contain at least `n` observed addresses
+    /// (step 3's count filter), with prefix length at most 127.
+    ///
+    /// Works on conceptual prefixes along compressed edges, so a dense
+    /// /112 is found even when path compression skips from a /48 branch
+    /// to a /120 branch.
+    pub fn densify(&self, n: u64, p: u8) -> Vec<DensePrefix> {
+        assert!(n >= 1, "density numerator must be at least 1");
+        assert!(p <= 128, "density prefix length out of range");
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            Self::densify_walk(root, 0, n, p, &mut out);
+        }
+        out.sort();
+        out
+    }
+
+    /// Walks the tree; `lo` is the shortest conceptual prefix length
+    /// available on the edge into `node` (parent length + 1; 0 at root).
+    fn densify_walk(node: &Node, lo: u8, n: u64, p: u8, out: &mut Vec<DensePrefix>) {
+        let s = node.subtree_sum();
+        if s >= n {
+            // Minimal length at which s addresses meet density n/2^(128-p):
+            //   s >= n * 2^(p - L)  <=>  L >= p - floor(log2(s / n))
+            let k_max = 63 - (s / n).leading_zeros() as i32; // floor(log2(s/n))
+            let l_min = (p as i32 - k_max).max(0) as u8;
+            let hi = node.prefix.len().min(127);
+            if l_min <= hi {
+                let at = l_min.max(lo);
+                out.push(DensePrefix {
+                    prefix: Prefix::new(node.prefix.addr(), at),
+                    count: s,
+                });
+                return; // least-specific: don't report anything deeper
+            }
+        }
+        for child in node.children.iter().flatten() {
+            Self::densify_walk(child, node.prefix.len() + 1, n, p, out);
+        }
+    }
+
+    /// The in-place aguri-style densify described verbatim in §5.2.3
+    /// step 2: post-order traversal, aggregating children into the current
+    /// node when the subtree count makes the node's own prefix dense.
+    /// After this, dense prefixes are the nodes with `count >= n`
+    /// (step 3); unaggregated sparse addresses remain as /128 leaves.
+    ///
+    /// [`RadixTree::densify`] is the non-destructive generalization; this
+    /// method exists for fidelity to the paper's algorithm and reports
+    /// node-aligned dense prefixes.
+    pub fn densify_in_place(&mut self, n: u64, p: u8) -> Vec<DensePrefix> {
+        fn dense(count: u64, len: u8, n: u64, p: u8) -> bool {
+            if count == 0 {
+                return false;
+            }
+            if len <= p {
+                // count >= n * 2^(p-len), saturating.
+                let shift = (p - len) as u32;
+                if shift >= 64 {
+                    return false;
+                }
+                n.checked_shl(shift).is_some_and(|t| count >= t)
+            } else {
+                let shift = (len - p) as u32;
+                if shift >= 64 {
+                    return true;
+                }
+                count.checked_shl(shift).is_none_or(|c| c >= n)
+            }
+        }
+
+        fn walk(node: &mut Node, n: u64, p: u8, removed: &mut usize) {
+            for child in node.children.iter_mut().flatten() {
+                walk(child, n, p, removed);
+            }
+            let child_sum: u64 = node
+                .children
+                .iter()
+                .flatten()
+                .map(|c| c.subtree_sum())
+                .sum();
+            if child_sum > 0 && dense(node.count + child_sum, node.prefix.len(), n, p) {
+                node.count += child_sum;
+                for slot in node.children.iter_mut() {
+                    if let Some(c) = slot.take() {
+                        *removed += count_nodes(&c);
+                    }
+                }
+            }
+        }
+
+        fn count_nodes(n: &Node) -> usize {
+            1 + n.children.iter().flatten().map(|c| count_nodes(c)).sum::<usize>()
+        }
+
+        let mut removed = 0usize;
+        if let Some(root) = &mut self.root {
+            walk(root, n, p, &mut removed);
+        }
+        self.nodes -= removed;
+        let mut out: Vec<DensePrefix> = self
+            .entries()
+            .into_iter()
+            .filter(|&(prefix, count)| count >= n && prefix.len() <= 127)
+            .map(|(prefix, count)| DensePrefix { prefix, count })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Memory-bounded aggregation — the aguri resource-constraint
+    /// mechanism the paper cites in §2 ("we find their Patricia/radix
+    /// tree-based aggregation useful in dealing with resource
+    /// constraints"). Repeatedly folds the smallest-count leaves into
+    /// their parents until at most `max_nodes` nodes remain, preserving
+    /// the total count. Returns the number of nodes removed.
+    ///
+    /// This is the operation a long-running profiler applies
+    /// periodically so an adversarial or ephemeral-heavy address stream
+    /// (billions of privacy addresses) cannot exhaust memory — the
+    /// paper's "informing data retention policy to prevent resource
+    /// exhaustion" application (§1).
+    pub fn aggregate_to_size(&mut self, max_nodes: usize) -> usize {
+        let start = self.nodes;
+        while self.nodes > max_nodes.max(1) {
+            // One bottom-up pass folding the smallest quartile of leaf
+            // counts; repeat until within budget.
+            let mut leaf_counts: Vec<u64> = Vec::new();
+            fn collect(n: &Node, out: &mut Vec<u64>) {
+                let mut is_leaf = true;
+                for c in n.children.iter().flatten() {
+                    is_leaf = false;
+                    collect(c, out);
+                }
+                if is_leaf {
+                    out.push(n.count);
+                }
+            }
+            if let Some(root) = &self.root {
+                collect(root, &mut leaf_counts);
+            } else {
+                break;
+            }
+            leaf_counts.sort_unstable();
+            let cutoff_idx = (leaf_counts.len() / 4).max(1).min(leaf_counts.len() - 1);
+            let cutoff = leaf_counts[cutoff_idx];
+
+            // Fold leaves with count <= cutoff into their parents; then
+            // splice out pass-through branch nodes left behind.
+            fn fold(slot: &mut Option<Box<Node>>, cutoff: u64, removed: &mut usize) -> u64 {
+                // Returns count folded up to the caller.
+                let Some(node) = slot else { return 0 };
+                let mut absorbed = 0u64;
+                for child in node.children.iter_mut() {
+                    absorbed += fold(child, cutoff, removed);
+                }
+                node.count += absorbed;
+                let is_leaf = node.children.iter().all(|c| c.is_none());
+                if is_leaf && node.count <= cutoff && !node.prefix.is_empty() {
+                    let count = node.count;
+                    *slot = None;
+                    *removed += 1;
+                    return count;
+                }
+                // Splice pass-through nodes (count 0, single child).
+                if node.count == 0 {
+                    let kids: Vec<usize> = (0..2)
+                        .filter(|&i| node.children[i].is_some())
+                        .collect();
+                    if kids.len() == 1 {
+                        let only = node.children[kids[0]].take().expect("checked");
+                        *slot = Some(only);
+                        *removed += 1;
+                    }
+                }
+                0
+            }
+            let mut removed = 0usize;
+            let folded_to_root = fold(&mut self.root, cutoff, &mut removed);
+            if folded_to_root > 0 {
+                // Everything collapsed; reinstate a ::/0 accumulator.
+                self.root = Some(Node::leaf(Prefix::ALL, folded_to_root));
+                self.nodes = 1;
+                break;
+            }
+            if removed == 0 {
+                break; // cannot shrink further without losing the total
+            }
+            self.nodes -= removed;
+        }
+        start - self.nodes
+    }
+
+    /// Classic aguri aggregation (Cho et al.): counts below
+    /// `threshold_fraction × total` are folded into ancestors; returns the
+    /// surviving `(prefix, count)` aggregates in address order. The last
+    /// resort aggregate is `::/0`.
+    pub fn aguri_aggregate(&self, threshold_fraction: f64) -> Vec<(Prefix, u64)> {
+        assert!(
+            (0.0..=1.0).contains(&threshold_fraction),
+            "threshold must be a fraction"
+        );
+        let threshold = (threshold_fraction * self.total as f64).ceil() as u64;
+
+        // Returns the count that could not be attributed to a kept
+        // aggregate in this subtree (flows to the caller).
+        fn walk(
+            node: &Node,
+            threshold: u64,
+            out: &mut Vec<(Prefix, u64)>,
+        ) -> u64 {
+            let mut residual = node.count;
+            for child in node.children.iter().flatten() {
+                residual += walk(child, threshold, out);
+            }
+            if residual >= threshold && threshold > 0 {
+                out.push((node.prefix, residual));
+                0
+            } else {
+                residual
+            }
+        }
+
+        let mut out = Vec::new();
+        let mut leftover = 0;
+        if let Some(root) = &self.root {
+            leftover = walk(root, threshold, &mut out);
+        }
+        if leftover > 0 {
+            out.push((Prefix::ALL, leftover));
+        }
+        out.sort_by_key(|&(p, _)| p);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PrefixMap: generic longest-prefix-match map (BGP routing table)
+// ---------------------------------------------------------------------------
+
+struct MapNode<T> {
+    prefix: Prefix,
+    value: Option<T>,
+    children: [Option<Box<MapNode<T>>>; 2],
+}
+
+/// A longest-prefix-match map from IPv6 prefixes to values — the shape of
+/// a BGP routing table. Same Patricia structure as [`RadixTree`], carrying
+/// an optional value instead of a count.
+///
+/// ```
+/// use v6census_trie::PrefixMap;
+/// let mut rt: PrefixMap<u32> = PrefixMap::new();
+/// rt.insert("2001:db8::/32".parse().unwrap(), 64496);
+/// rt.insert("2001:db8:ff::/48".parse().unwrap(), 64497);
+/// let asn = rt.longest_match("2001:db8:ff::1".parse().unwrap());
+/// assert_eq!(asn.map(|(p, v)| (p.len(), *v)), Some((48, 64497)));
+/// ```
+#[derive(Default)]
+pub struct PrefixMap<T> {
+    root: Option<Box<MapNode<T>>>,
+    len: usize,
+}
+
+impl<T> PrefixMap<T> {
+    /// Creates an empty map.
+    pub fn new() -> PrefixMap<T> {
+        PrefixMap {
+            root: None,
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes with values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no prefixes have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts or replaces the value at `p`; returns the previous value.
+    pub fn insert(&mut self, p: Prefix, value: T) -> Option<T> {
+        let slot = Self::slot_for(&mut self.root, p);
+        let node = slot.as_mut().expect("slot_for always materializes");
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Materializes a node for `p` using the same split logic as the
+    /// counting tree, then returns the slot holding it.
+    fn slot_for(slot: &mut Option<Box<MapNode<T>>>, p: Prefix) -> &mut Option<Box<MapNode<T>>> {
+        // Decide on the structural action with a shared borrow, then act.
+        enum Action {
+            Create,
+            Found,
+            Descend(usize),
+            SpliceAbove,
+            Branch(Prefix),
+        }
+        let action = match slot.as_deref() {
+            None => Action::Create,
+            Some(node) if node.prefix == p => Action::Found,
+            Some(node) if node.prefix.contains(p) => {
+                Action::Descend(p.addr().bit(node.prefix.len() as usize) as usize)
+            }
+            Some(node) if p.contains(node.prefix) => Action::SpliceAbove,
+            Some(node) => {
+                let cpl = p
+                    .addr()
+                    .common_prefix_len(node.prefix.addr())
+                    .min(p.len())
+                    .min(node.prefix.len());
+                Action::Branch(Prefix::new(p.addr(), cpl))
+            }
+        };
+        match action {
+            Action::Create => {
+                *slot = Some(Box::new(MapNode {
+                    prefix: p,
+                    value: None,
+                    children: [None, None],
+                }));
+                slot
+            }
+            Action::Found => slot,
+            Action::Descend(bit) => {
+                Self::slot_for(&mut slot.as_mut().expect("descend needs node").children[bit], p)
+            }
+            Action::SpliceAbove => {
+                let old = slot.take().expect("splice needs node");
+                let bit = old.prefix.addr().bit(p.len() as usize) as usize;
+                let mut new_node = Box::new(MapNode {
+                    prefix: p,
+                    value: None,
+                    children: [None, None],
+                });
+                new_node.children[bit] = Some(old);
+                *slot = Some(new_node);
+                slot
+            }
+            Action::Branch(branch_prefix) => {
+                let old = slot.take().expect("branch needs node");
+                let old_bit = old.prefix.addr().bit(branch_prefix.len() as usize) as usize;
+                let mut branch = Box::new(MapNode {
+                    prefix: branch_prefix,
+                    value: None,
+                    children: [None, None],
+                });
+                branch.children[old_bit] = Some(old);
+                *slot = Some(branch);
+                // The branch now strictly contains p: recurse to create it.
+                Self::slot_for(slot, p)
+            }
+        }
+    }
+
+    /// The value stored at exactly `p`.
+    pub fn get(&self, p: Prefix) -> Option<&T> {
+        let mut cur = &self.root;
+        while let Some(node) = cur {
+            if node.prefix == p {
+                return node.value.as_ref();
+            }
+            if !node.prefix.contains(p) {
+                return None;
+            }
+            let bit = p.addr().bit(node.prefix.len() as usize) as usize;
+            cur = &node.children[bit];
+        }
+        None
+    }
+
+    /// Longest-prefix match: the most specific `(prefix, value)` whose
+    /// block contains `a`.
+    pub fn longest_match(&self, a: Addr) -> Option<(Prefix, &T)> {
+        let mut best: Option<(Prefix, &T)> = None;
+        let mut cur = &self.root;
+        while let Some(node) = cur {
+            if !node.prefix.contains_addr(a) {
+                break;
+            }
+            if let Some(v) = &node.value {
+                best = Some((node.prefix, v));
+            }
+            if node.prefix.len() == 128 {
+                break;
+            }
+            let bit = a.bit(node.prefix.len() as usize) as usize;
+            cur = &node.children[bit];
+        }
+        best
+    }
+
+    /// Iterates all `(prefix, value)` pairs in address order.
+    pub fn entries(&self) -> Vec<(Prefix, &T)> {
+        let mut out = Vec::new();
+        fn walk<'a, T>(n: &'a Option<Box<MapNode<T>>>, out: &mut Vec<(Prefix, &'a T)>) {
+            if let Some(node) = n {
+                if let Some(v) = &node.value {
+                    out.push((node.prefix, v));
+                }
+                walk(&node.children[0], out);
+                walk(&node.children[1], out);
+            }
+        }
+        walk(&self.root, &mut out);
+        out.sort_by_key(|&(p, _)| p);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = RadixTree::new();
+        t.insert(p("2001:db8::/32"), 5);
+        t.insert(p("2001:db8::/32"), 2);
+        t.insert_addr(a("2001:db8::1"), 1);
+        assert_eq!(t.get(p("2001:db8::/32")), 7);
+        assert_eq!(t.get(p("2001:db8::1/128")), 1);
+        assert_eq!(t.get(p("2001:db9::/32")), 0);
+        assert_eq!(t.total(), 8);
+    }
+
+    #[test]
+    fn count_within_subtree() {
+        let mut t = RadixTree::new();
+        for s in ["2001:db8::1", "2001:db8::2", "2001:db8:1::1", "2400::1"] {
+            t.insert_addr(a(s), 1);
+        }
+        assert_eq!(t.count_within(p("2001:db8::/32")), 3);
+        assert_eq!(t.count_within(p("2001:db8::/64")), 2);
+        assert_eq!(t.count_within(p("::/0")), 4);
+        assert_eq!(t.count_within(p("2001:db9::/32")), 0);
+        assert_eq!(t.count_within(p("2001:db8::1/128")), 1);
+    }
+
+    #[test]
+    fn paper_example_densify() {
+        // §5.2.2: addresses ::1 and ::4 in 2001:db8:: — the sole
+        // 2@/112-dense prefix is 2001:db8::/112; there is one
+        // 2@/125-dense prefix but no 2@/126-dense prefix.
+        let mut t = RadixTree::new();
+        t.insert_addr(a("2001:db8::1"), 1);
+        t.insert_addr(a("2001:db8::4"), 1);
+
+        let d112 = t.densify(2, 112);
+        assert_eq!(d112.len(), 1);
+        assert_eq!(d112[0].prefix, p("2001:db8::/112"));
+        assert_eq!(d112[0].count, 2);
+
+        let d125 = t.densify(2, 125);
+        assert_eq!(d125.len(), 1);
+        assert_eq!(d125[0].prefix, p("2001:db8::/125"));
+
+        let d126 = t.densify(2, 126);
+        assert!(d126.is_empty(), "got {d126:?}");
+    }
+
+    #[test]
+    fn densify_finds_least_specific() {
+        // 512 addresses packed in one /119 meet 2@/112 density at /104:
+        // 512 = 2 * 2^8 -> L_min = 112 - 8 = 104.
+        let mut t = RadixTree::new();
+        let base: Addr = a("2001:db8::");
+        for i in 0..512u128 {
+            t.insert_addr(Addr(base.0 | i), 1);
+        }
+        let d = t.densify(2, 112);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].prefix.len(), 104);
+        assert_eq!(d[0].count, 512);
+    }
+
+    #[test]
+    fn densify_respects_count_floor() {
+        // A single address is maximally dense but fails the n=2 count
+        // filter (paper step 3).
+        let mut t = RadixTree::new();
+        t.insert_addr(a("2001:db8::1"), 1);
+        assert!(t.densify(2, 112).is_empty());
+        assert_eq!(t.densify(1, 112).len(), 1);
+    }
+
+    #[test]
+    fn densify_nonoverlapping() {
+        let mut t = RadixTree::new();
+        // Two separate dense /112s plus one sparse address.
+        for i in 0..4u128 {
+            t.insert_addr(Addr(a("2001:db8:a::").0 | i), 1);
+            t.insert_addr(Addr(a("2001:db8:b::").0 | i), 1);
+        }
+        t.insert_addr(a("2400::1"), 1);
+        let d = t.densify(2, 112);
+        // Each /112 with 4 addrs is dense at /111 (4 = 2*2^1).
+        assert_eq!(d.len(), 2);
+        for x in &d {
+            assert_eq!(x.prefix.len(), 111);
+            assert_eq!(x.count, 4);
+        }
+        for i in 0..d.len() {
+            for j in 0..d.len() {
+                if i != j {
+                    assert!(!d[i].prefix.overlaps(d[j].prefix));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn densify_in_place_matches_paper_steps() {
+        let mut t = RadixTree::new();
+        t.insert_addr(a("2001:db8::1"), 1);
+        t.insert_addr(a("2001:db8::4"), 1);
+        t.insert_addr(a("2400::1"), 1);
+        let before = t.node_count();
+        let d = t.densify_in_place(2, 112);
+        assert!(t.node_count() < before);
+        assert_eq!(d.len(), 1);
+        // Node-aligned: the branch node for ::1/::4 sits at /125.
+        assert_eq!(d[0].prefix, p("2001:db8::/125"));
+        assert_eq!(d[0].count, 2);
+        // Sparse /128 remains in the tree but is filtered from output...
+        assert_eq!(t.get(p("2400::1/128")), 1);
+    }
+
+    #[test]
+    fn dense_prefix_possible_and_density() {
+        let d = DensePrefix {
+            prefix: p("2001:db8::/112"),
+            count: 2,
+        };
+        assert_eq!(d.possible(), Some(65536));
+        assert!((d.density() - 2.0 / 65536.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aguri_aggregation_profiles_heavy_hitters() {
+        let mut t = RadixTree::new();
+        // 90 hits in one /64, 10 scattered.
+        for i in 0..90u128 {
+            t.insert_addr(Addr(a("2001:db8::").0 | i), 1);
+        }
+        for i in 0..10u128 {
+            t.insert_addr(Addr(a("2400::").0 | (i << 64)), 1);
+        }
+        let agg = t.aguri_aggregate(0.10);
+        let total: u64 = agg.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 100, "aggregation must conserve counts");
+        // Every aggregate except the ::/0 catch-all meets the threshold.
+        for &(pre, c) in &agg {
+            if pre != Prefix::ALL {
+                assert!(c >= 10, "{pre} kept with count {c} below threshold");
+            }
+        }
+        // Nearly all heavy-side hits are attributed inside the heavy /64
+        // (at most one sub-threshold residue escapes to the root).
+        let heavy: u64 = agg
+            .iter()
+            .filter(|&&(pre, _)| p("2001:db8::/64").contains(pre))
+            .map(|&(_, c)| c)
+            .sum();
+        assert!(heavy > 80, "heavy side kept only {heavy} of 90: {agg:?}");
+        // The 10 scattered singletons reach the threshold together at
+        // their common ancestor inside 2400::/32.
+        assert!(
+            agg.iter()
+                .any(|&(pre, c)| c == 10 && p("2400::/32").contains(pre)),
+            "got {agg:?}"
+        );
+    }
+
+    #[test]
+    fn aggregate_to_size_bounds_memory_and_conserves_counts() {
+        let mut t = RadixTree::new();
+        for i in 0..2_000u128 {
+            // Scattered ephemeral addresses plus one heavy block.
+            t.insert_addr(Addr((0x2a00u128 << 112) | (i * 0x1_0000_0001)), 1);
+        }
+        for i in 0..50u128 {
+            t.insert_addr(Addr((0x2001_0db8u128 << 96) | i), 10);
+        }
+        let total_before = t.total();
+        let nodes_before = t.node_count();
+        assert!(nodes_before > 2_000);
+        let removed = t.aggregate_to_size(200);
+        assert!(removed > 0);
+        assert!(
+            t.node_count() <= 200 || t.node_count() < nodes_before / 4,
+            "still {} nodes",
+            t.node_count()
+        );
+        assert_eq!(t.total(), total_before, "counts must be conserved");
+        let entries_total: u64 = t.entries().iter().map(|&(_, c)| c).sum();
+        assert_eq!(entries_total, total_before);
+        // The tree still works after aggregation.
+        t.insert_addr(a("2400::1"), 3);
+        assert_eq!(t.total(), total_before + 3);
+        assert!(t.count_within(p("::/0")) == total_before + 3);
+    }
+
+    #[test]
+    fn aggregate_to_size_degenerate_cases() {
+        let mut t = RadixTree::new();
+        assert_eq!(t.aggregate_to_size(10), 0, "empty tree");
+        t.insert_addr(a("2001:db8::1"), 5);
+        assert_eq!(t.aggregate_to_size(10), 0, "already within budget");
+        // Collapsing below one node leaves a ::/0 accumulator.
+        t.insert_addr(a("2400::1"), 5);
+        t.insert_addr(a("2600::1"), 5);
+        t.aggregate_to_size(1);
+        assert_eq!(t.total(), 15);
+        assert_eq!(t.count_within(p("::/0")), 15);
+        assert!(t.node_count() >= 1);
+    }
+
+    #[test]
+    fn aguri_zero_threshold_keeps_everything() {
+        let mut t = RadixTree::new();
+        t.insert_addr(a("2001:db8::1"), 3);
+        let agg = t.aguri_aggregate(0.0);
+        assert_eq!(agg.iter().map(|&(_, c)| c).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn prefix_map_longest_match() {
+        let mut rt: PrefixMap<u32> = PrefixMap::new();
+        rt.insert(p("2001:db8::/32"), 1);
+        rt.insert(p("2001:db8:ff::/48"), 2);
+        rt.insert(p("2400::/12"), 3);
+        assert_eq!(rt.len(), 3);
+        assert_eq!(rt.longest_match(a("2001:db8::1")).map(|(_, v)| *v), Some(1));
+        assert_eq!(
+            rt.longest_match(a("2001:db8:ff::1")).map(|(_, v)| *v),
+            Some(2)
+        );
+        assert_eq!(rt.longest_match(a("2400:1::1")).map(|(_, v)| *v), Some(3));
+        assert_eq!(rt.longest_match(a("3000::1")), None);
+    }
+
+    #[test]
+    fn prefix_map_replace_and_entries() {
+        let mut rt: PrefixMap<&str> = PrefixMap::new();
+        assert!(rt.is_empty());
+        assert_eq!(rt.insert(p("2001:db8::/32"), "old"), None);
+        assert_eq!(rt.insert(p("2001:db8::/32"), "new"), Some("old"));
+        assert_eq!(rt.len(), 1);
+        assert_eq!(rt.get(p("2001:db8::/32")), Some(&"new"));
+        assert_eq!(rt.get(p("2001:db8::/48")), None);
+        let e = rt.entries();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].0, p("2001:db8::/32"));
+    }
+
+    #[test]
+    fn prefix_map_default_route() {
+        let mut rt: PrefixMap<u32> = PrefixMap::new();
+        rt.insert(p("::/0"), 0);
+        rt.insert(p("2001:db8::/32"), 1);
+        assert_eq!(rt.longest_match(a("9999::1")).map(|(_, v)| *v), Some(0));
+        assert_eq!(rt.longest_match(a("2001:db8::1")).map(|(_, v)| *v), Some(1));
+    }
+}

@@ -1,0 +1,242 @@
+//! Property-based tests for the trie substrate: the Patricia trie, the
+//! sort-based fast paths, and their equivalence (a DESIGN.md ablation).
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use v6census_addr::{Addr, Prefix};
+use v6census_trie::{dense_prefixes_at, populations, AddrSet, AggregateCounts, DensePrefix, PrefixMap, RadixTree};
+
+/// Clustered address generator: realistic populations share prefixes, so
+/// bias toward a handful of /64-ish bases with small offsets.
+fn clustered_addrs() -> impl Strategy<Value = Vec<Addr>> {
+    let base = prop_oneof![
+        Just(0x2001_0db8_0000_0000u64),
+        Just(0x2001_0db8_0000_0001u64),
+        Just(0x2400_4000_0012_0000u64),
+        Just(0x2600_1400_0abc_0000u64),
+    ];
+    prop::collection::vec(
+        (base, 0u64..0x2_0000).prop_map(|(hi, lo)| Addr(((hi as u128) << 64) | lo as u128)),
+        0..200,
+    )
+}
+
+proptest! {
+    /// AddrSet behaves like BTreeSet for membership/size/order.
+    #[test]
+    fn addrset_matches_btreeset(addrs in clustered_addrs(), probe: u64) {
+        let set = AddrSet::from_iter(addrs.iter().copied());
+        let reference: BTreeSet<u128> = addrs.iter().map(|a| a.0).collect();
+        prop_assert_eq!(set.len(), reference.len());
+        let collected: Vec<u128> = set.iter().map(|a| a.0).collect();
+        let expected: Vec<u128> = reference.iter().copied().collect();
+        prop_assert_eq!(collected, expected);
+        let p = Addr((0x2001_0db8u128 << 96) | probe as u128);
+        prop_assert_eq!(set.contains(p), reference.contains(&p.0));
+    }
+
+    /// Set algebra sizes agree with BTreeSet.
+    #[test]
+    fn set_algebra(xs in clustered_addrs(), ys in clustered_addrs()) {
+        let a = AddrSet::from_iter(xs.iter().copied());
+        let b = AddrSet::from_iter(ys.iter().copied());
+        let ra: BTreeSet<u128> = xs.iter().map(|v| v.0).collect();
+        let rb: BTreeSet<u128> = ys.iter().map(|v| v.0).collect();
+        prop_assert_eq!(a.intersection_len(&b), ra.intersection(&rb).count());
+        prop_assert_eq!(a.union(&b).len(), ra.union(&rb).count());
+        prop_assert_eq!(a.intersection(&b).len(), ra.intersection(&rb).count());
+        // |A∪B| + |A∩B| = |A| + |B|
+        prop_assert_eq!(
+            a.union(&b).len() + a.intersection_len(&b),
+            a.len() + b.len()
+        );
+    }
+
+    /// map_prefix agrees with masking through a BTreeSet.
+    #[test]
+    fn map_prefix_matches_mask(addrs in clustered_addrs(), len in 0u8..=128) {
+        let set = AddrSet::from_iter(addrs.iter().copied());
+        let mapped = set.map_prefix(len);
+        let reference: BTreeSet<u128> = addrs.iter().map(|a| a.mask(len).0).collect();
+        prop_assert_eq!(mapped.len(), reference.len());
+        for a in mapped.iter() {
+            prop_assert!(reference.contains(&a.0));
+        }
+    }
+
+    /// Aggregate counts: n_0 = 1, n_128 = N, monotone, at most doubling.
+    #[test]
+    fn aggregate_count_laws(addrs in clustered_addrs()) {
+        let set = AddrSet::from_iter(addrs.iter().copied());
+        prop_assume!(!set.is_empty());
+        let agg = AggregateCounts::of(&set);
+        prop_assert_eq!(agg.n(0), 1);
+        prop_assert_eq!(agg.n(128), set.len() as u64);
+        for p in 0..128u8 {
+            prop_assert!(agg.n(p) <= agg.n(p + 1));
+            prop_assert!(agg.n(p + 1) <= 2 * agg.n(p));
+        }
+    }
+
+    /// n_p computed by the adjacency scan equals the count of distinct
+    /// masked values (the sort|cut|uniq definition).
+    #[test]
+    fn aggregate_counts_match_uniq(addrs in clustered_addrs(), p in 0u8..=128) {
+        let set = AddrSet::from_iter(addrs.iter().copied());
+        prop_assume!(!set.is_empty());
+        let agg = AggregateCounts::of(&set);
+        let distinct: BTreeSet<u128> = set.iter().map(|a| a.mask(p).0).collect();
+        prop_assert_eq!(agg.n(p), distinct.len() as u64);
+    }
+
+    /// populations() sums to the set size and matches a map-reduce.
+    #[test]
+    fn populations_match_counting(addrs in clustered_addrs(), p in 0u8..=128) {
+        let set = AddrSet::from_iter(addrs.iter().copied());
+        let pops = populations(&set, p);
+        prop_assert_eq!(pops.iter().sum::<u64>() as usize, set.len());
+        let mut reference: BTreeMap<u128, u64> = BTreeMap::new();
+        for a in set.iter() {
+            *reference.entry(a.mask(p).0).or_default() += 1;
+        }
+        let mut expected: Vec<u64> = reference.values().copied().collect();
+        let mut got = pops.clone();
+        expected.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The fixed-length dense classes from the sorted scan equal the
+    /// trie computed with /p-truncated inserts (paper §5.2.3 step 1).
+    #[test]
+    fn dense_sort_equals_trie(addrs in clustered_addrs(), n in 1u64..6, p in 32u8..=128) {
+        let set = AddrSet::from_iter(addrs.iter().copied());
+        let sorted_path = dense_prefixes_at(&set, n, p);
+        let mut tree = RadixTree::new();
+        for a in set.iter() {
+            tree.insert(Prefix::of(a, p), 1);
+        }
+        let trie_path: Vec<DensePrefix> = tree
+            .entries()
+            .into_iter()
+            .filter(|&(_, c)| c >= n)
+            .map(|(prefix, count)| DensePrefix { prefix, count })
+            .collect();
+        prop_assert_eq!(sorted_path, trie_path);
+    }
+
+    /// General densify: results are non-overlapping, meet the density
+    /// and count requirements, and cover every address that any dense
+    /// /p block covers.
+    #[test]
+    fn densify_laws(addrs in clustered_addrs(), n in 1u64..5, p in 96u8..=124) {
+        let set = AddrSet::from_iter(addrs.iter().copied());
+        let mut tree = RadixTree::new();
+        for a in set.iter() {
+            tree.insert_addr(a, 1);
+        }
+        let dense = tree.densify(n, p);
+        for (i, d) in dense.iter().enumerate() {
+            prop_assert!(d.count >= n, "count filter");
+            prop_assert!(d.prefix.len() <= 127);
+            // Density requirement: count ≥ n · 2^(p−len) for len ≤ p.
+            if d.prefix.len() <= p {
+                let needed = n << (p - d.prefix.len()).min(63);
+                prop_assert!(d.count >= needed, "{:?} under-dense", d);
+            }
+            for other in &dense[i + 1..] {
+                prop_assert!(!d.prefix.overlaps(other.prefix), "overlap");
+            }
+        }
+        // Every fixed-length dense block is inside some reported block.
+        for fixed in dense_prefixes_at(&set, n, p) {
+            prop_assert!(
+                dense.iter().any(|d| d.prefix.contains(fixed.prefix)),
+                "missing {:?}",
+                fixed
+            );
+        }
+    }
+
+    /// Tree totals and per-prefix subtree counts agree with counting.
+    #[test]
+    fn count_within_matches_filter(addrs in clustered_addrs(), len in 0u8..=128, pick: u64) {
+        let set = AddrSet::from_iter(addrs.iter().copied());
+        prop_assume!(!set.is_empty());
+        let mut tree = RadixTree::new();
+        for a in set.iter() {
+            tree.insert_addr(a, 1);
+        }
+        prop_assert_eq!(tree.total(), set.len() as u64);
+        // Probe with the prefix of one of the members.
+        let keys = set.keys();
+        let member = Addr(keys[(pick % keys.len() as u64) as usize]);
+        let probe = Prefix::of(member, len);
+        let expected = set.iter().filter(|&a| probe.contains_addr(a)).count() as u64;
+        prop_assert_eq!(tree.count_within(probe), expected);
+    }
+
+    /// Aguri aggregation conserves counts and every kept aggregate meets
+    /// the threshold (except the ::/0 remainder).
+    #[test]
+    fn aguri_conserves(addrs in clustered_addrs(), frac in 0.0f64..0.5) {
+        let set = AddrSet::from_iter(addrs.iter().copied());
+        prop_assume!(!set.is_empty());
+        let mut tree = RadixTree::new();
+        for a in set.iter() {
+            tree.insert_addr(a, 1);
+        }
+        let agg = tree.aguri_aggregate(frac);
+        let total: u64 = agg.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total, set.len() as u64);
+        let threshold = (frac * set.len() as f64).ceil() as u64;
+        for &(prefix, count) in &agg {
+            if prefix != Prefix::ALL && threshold > 0 {
+                prop_assert!(count >= threshold, "{prefix} kept at {count}");
+            }
+        }
+    }
+
+    /// PrefixMap longest-match agrees with a linear scan.
+    #[test]
+    fn lpm_matches_linear_scan(
+        entries in prop::collection::vec((any::<u64>(), 8u8..=64), 0..40),
+        probe: u64,
+    ) {
+        let mut map: PrefixMap<usize> = PrefixMap::new();
+        let mut list: Vec<(Prefix, usize)> = Vec::new();
+        for (i, (hi, len)) in entries.iter().enumerate() {
+            let p = Prefix::new(Addr((*hi as u128) << 64), *len);
+            map.insert(p, i);
+            list.retain(|&(q, _)| q != p);
+            list.push((p, i));
+        }
+        let target = Addr((probe as u128) << 64);
+        let got = map.longest_match(target).map(|(p, &v)| (p, v));
+        let want = list
+            .iter()
+            .filter(|&&(p, _)| p.contains_addr(target))
+            .max_by_key(|&&(p, _)| p.len())
+            .map(|&(p, v)| (p, v));
+        prop_assert_eq!(got, want);
+    }
+}
+
+proptest! {
+    /// Memory-bounded aggregation conserves totals and shrinks node
+    /// counts monotonically.
+    #[test]
+    fn aggregate_to_size_conserves(addrs in clustered_addrs(), budget in 1usize..64) {
+        let mut tree = RadixTree::new();
+        for a in &addrs {
+            tree.insert_addr(*a, 1);
+        }
+        let total = tree.total();
+        let before = tree.node_count();
+        let removed = tree.aggregate_to_size(budget);
+        prop_assert_eq!(tree.total(), total);
+        prop_assert_eq!(tree.node_count(), before - removed);
+        let entries_total: u64 = tree.entries().iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(entries_total, total);
+    }
+}

@@ -1,0 +1,65 @@
+//! Target selection for active measurement (§6.1.1): compare probe
+//! strategies and sweep the stability-window parameters — the ablation
+//! the paper flags as future work ("more research is warranted ...
+//! varying the number of days or the sliding window size").
+//!
+//! ```text
+//! cargo run --release --example target_selection
+//! ```
+
+use v6census::census::experiments::{router_discovery, sample_every};
+use v6census::census::Census;
+use v6census::prelude::*;
+use v6census::synth::router::ProbeSim;
+use v6census::synth::world::epochs;
+
+fn main() {
+    let world = World::standard(WorldConfig { seed: 11, scale: 0.1 });
+    let reference = epochs::mar2015();
+    println!("ingesting ±7d window around {reference}…");
+    let census = Census::run(&world, reference - 7, reference + 7);
+
+    // Headline comparison: random actives vs 3d-stable targets.
+    let r = router_discovery(&world, &census, reference, 2_000);
+    println!(
+        "\nbaseline (resolvers + random actives): {} routers",
+        r.baseline_routers
+    );
+    println!(
+        "3d-stable targets                    : {} routers ({:+.1}%)",
+        r.stable_routers,
+        r.improvement_pct()
+    );
+
+    // Ablation 1: sweep n of nd-stable.
+    println!("\nsweep of n (window fixed at -7d,+7d):");
+    println!("{:>4} {:>12} {:>12}", "n", "stable addrs", "routers");
+    let sim = ProbeSim::new(&world, reference);
+    let resolvers = sim.resolver_targets();
+    for n in [1u32, 2, 3, 5, 7] {
+        let params = StabilityParams::nd(n);
+        let stable = census.other_daily().stable_on(reference, &params);
+        let mut targets = resolvers.clone();
+        targets.extend(sample_every(&stable, 2_000));
+        let found = sim.survey(targets).len();
+        println!("{n:>4} {:>12} {found:>12}", stable.len());
+    }
+
+    // Ablation 2: sweep the window reach for 3d-stability.
+    println!("\nsweep of window reach (n = 3):");
+    println!("{:>8} {:>12} {:>12}", "window", "stable addrs", "label");
+    for reach in [3u32, 5, 7, 10, 14] {
+        let params = StabilityParams::nd(3).with_window(reach, reach);
+        // Only days we ingested contribute; wider windows need more data.
+        let stable = census.other_daily().stable_on(reference, &params);
+        println!("{reach:>7}d {:>12} {:>24}", stable.len(), params.label());
+    }
+
+    // Ablation 3: slew tolerance (the §4.1 timestamp-slew heuristic).
+    println!("\nslew tolerance (conservative distance requirement):");
+    for slew in [0u32, 1, 2] {
+        let params = StabilityParams::three_day().with_slew(slew);
+        let stable = census.other_daily().stable_on(reference, &params);
+        println!("  slew {slew}d -> {} stable addrs", stable.len());
+    }
+}
