@@ -148,7 +148,7 @@ pub fn iid_entropy_bits(iid: Iid) -> f64 {
         }
     }
     let histogram_bits = h * 16.0; // up to 64 when all nybbles distinct-ish
-    // Penalize runs: structured IIDs have few adjacent changes.
+                                   // Penalize runs: structured IIDs have few adjacent changes.
     let transition_factor = transitions as f64 / 15.0;
     histogram_bits * (0.5 + 0.5 * transition_factor)
 }
@@ -192,7 +192,10 @@ mod tests {
 
     #[test]
     fn embedded_v4() {
-        assert_eq!(embedded_ipv4(a("2001:db8::c000:0201")), Some([192, 0, 2, 1]));
+        assert_eq!(
+            embedded_ipv4(a("2001:db8::c000:0201")),
+            Some([192, 0, 2, 1])
+        );
         // Small manual IIDs decode to 0.x and are rejected.
         assert_eq!(embedded_ipv4(a("2001:db8::103")), None);
         // Private ranges rejected.
@@ -201,7 +204,7 @@ mod tests {
         assert_eq!(embedded_ipv4(a("2001:db8::ac10:0001")), None); // 172.16.0.1
         assert_eq!(embedded_ipv4(a("2001:db8::a9fe:0001")), None); // 169.254.0.1
         assert_eq!(embedded_ipv4(a("2001:db8::e000:0001")), None); // 224.0.0.1
-        // High IID bits set -> not an embedded v4.
+                                                                   // High IID bits set -> not an embedded v4.
         assert_eq!(embedded_ipv4(a("2001:db8::1:c000:0201")), None);
     }
 
@@ -212,6 +215,9 @@ mod tests {
         let structured = iid_entropy_bits(Iid::of(a("2001:db8::10:901")));
         assert!(random > 30.0, "random scored {random}");
         assert!(manual < 15.0, "manual scored {manual}");
-        assert!(structured < random, "structured {structured} vs random {random}");
+        assert!(
+            structured < random,
+            "structured {structured} vs random {random}"
+        );
     }
 }

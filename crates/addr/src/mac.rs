@@ -134,19 +134,6 @@ impl fmt::Debug for Mac {
     }
 }
 
-impl serde::Serialize for Mac {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.collect_str(self)
-    }
-}
-
-impl<'de> serde::Deserialize<'de> for Mac {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Mac, D::Error> {
-        let s = String::deserialize(d)?;
-        s.parse().map_err(serde::de::Error::custom)
-    }
-}
-
 /// Errors parsing a MAC address from text.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MacParseError;

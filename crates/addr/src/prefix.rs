@@ -182,19 +182,6 @@ impl fmt::Debug for Prefix {
     }
 }
 
-impl serde::Serialize for Prefix {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.collect_str(self)
-    }
-}
-
-impl<'de> serde::Deserialize<'de> for Prefix {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Prefix, D::Error> {
-        let s = String::deserialize(d)?;
-        s.parse().map_err(serde::de::Error::custom)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,10 +229,7 @@ mod tests {
     fn span_and_last() {
         assert_eq!(p("2001:db8::/112").span(), Some(65536));
         assert_eq!(p("::/0").span(), None);
-        assert_eq!(
-            p("2001:db8::/112").last_addr(),
-            a("2001:db8::ffff")
-        );
+        assert_eq!(p("2001:db8::/112").last_addr(), a("2001:db8::ffff"));
         assert_eq!(Prefix::ALL.last_addr(), Addr(u128::MAX));
     }
 
@@ -262,7 +246,13 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        for bad in ["2001:db8::", "2001:db8::/", "2001:db8::/129", "2001:db8::/x", "/64"] {
+        for bad in [
+            "2001:db8::",
+            "2001:db8::/",
+            "2001:db8::/129",
+            "2001:db8::/x",
+            "/64",
+        ] {
             assert!(bad.parse::<Prefix>().is_err(), "accepted {bad:?}");
         }
     }

@@ -16,7 +16,7 @@ use crate::{embedded_ipv4, iid_entropy_bits, special, Addr, Iid, Mac};
 /// transition mechanisms are checked first because their formats are
 /// authoritative; the remaining variants are content heuristics over the
 /// IID of "Other" (native-transport) addresses.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AddressScheme {
     /// Teredo (RFC 4380): inside `2001::/32`.
     Teredo,

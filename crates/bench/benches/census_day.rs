@@ -1,54 +1,38 @@
 //! End-to-end benchmark: generate one synthetic day and run the census
 //! culling over it — the dominant cost of every experiment regenerator.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use v6census_bench::timing::{black_box, Harness};
 use v6census_census::DaySummary;
 use v6census_synth::world::epochs;
 use v6census_synth::{World, WorldConfig};
 
-fn bench_day_log(c: &mut Criterion) {
-    let mut g = c.benchmark_group("world_day_log");
-    g.sample_size(10);
+fn main() {
+    let h = Harness::from_env();
+
     for scale in [0.05f64, 0.25] {
         let world = World::standard(WorldConfig { seed: 1, scale });
-        g.bench_with_input(BenchmarkId::from_parameter(scale), &world, |b, world| {
-            b.iter(|| black_box(world.day_log(epochs::mar2015()).len()))
+        h.bench(&format!("world_day_log/{scale}"), || {
+            black_box(world.day_log(epochs::mar2015()).len())
         });
     }
-    g.finish();
-}
 
-fn bench_ingest(c: &mut Criterion) {
     let world = World::standard(WorldConfig {
         seed: 1,
         scale: 0.25,
     });
     let log = world.day_log(epochs::mar2015());
-    c.bench_function("day_summary_cull", |b| {
-        b.iter(|| black_box(DaySummary::from_log(&log).other.len()))
+    h.bench("day_summary_cull", || {
+        black_box(DaySummary::from_log(&log).other.len())
     });
-}
 
-fn bench_routing(c: &mut Criterion) {
-    let world = World::standard(WorldConfig {
-        seed: 1,
-        scale: 0.25,
-    });
     let rt = world.routing_table(epochs::mar2015());
-    let log = world.day_log(epochs::mar2015());
-    c.bench_function("asn_attribution_full_day", |b| {
-        b.iter(|| {
-            let mut n = 0usize;
-            for e in &log.entries {
-                if rt.longest_match(e.addr).is_some() {
-                    n += 1;
-                }
+    h.bench("asn_attribution_full_day", || {
+        let mut n = 0usize;
+        for e in &log.entries {
+            if rt.longest_match(e.addr).is_some() {
+                n += 1;
             }
-            black_box(n)
-        })
+        }
+        black_box(n)
     });
 }
-
-criterion_group!(benches, bench_day_log, bench_ingest, bench_routing);
-criterion_main!(benches);

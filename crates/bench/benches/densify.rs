@@ -1,9 +1,8 @@
 //! The DESIGN.md ablation: the paper's trie-based densify (§5.2.3)
 //! versus the sort-based fast path (footnote 3), on identical inputs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use v6census_addr::Addr;
+use v6census_bench::timing::{black_box, Harness};
 use v6census_trie::{dense_prefixes_at, AddrSet, RadixTree};
 
 /// A population with realistic clustering: dense server blocks plus
@@ -27,48 +26,36 @@ fn population(n: u64) -> AddrSet {
     AddrSet::from_iter(addrs)
 }
 
-fn bench_densify(c: &mut Criterion) {
-    let mut g = c.benchmark_group("densify_2_at_112");
-    g.sample_size(10);
+fn main() {
+    let h = Harness::from_env();
+
     for n in [10_000u64, 100_000] {
         let set = population(n);
-        g.bench_with_input(BenchmarkId::new("sorted_scan", n), &set, |b, set| {
-            b.iter(|| black_box(dense_prefixes_at(set, 2, 112).len()))
+        h.bench(&format!("densify_2_at_112/sorted_scan/{n}"), || {
+            black_box(dense_prefixes_at(&set, 2, 112).len())
         });
-        g.bench_with_input(BenchmarkId::new("trie_general", n), &set, |b, set| {
-            b.iter(|| {
-                let mut t = RadixTree::new();
-                for a in set.iter() {
-                    t.insert_addr(a, 1);
-                }
-                black_box(t.densify(2, 112).len())
-            })
+        h.bench(&format!("densify_2_at_112/trie_general/{n}"), || {
+            let mut t = RadixTree::new();
+            for a in set.iter() {
+                t.insert_addr(a, 1);
+            }
+            black_box(t.densify(2, 112).len())
         });
-        g.bench_with_input(BenchmarkId::new("trie_in_place", n), &set, |b, set| {
-            b.iter(|| {
-                let mut t = RadixTree::new();
-                for a in set.iter() {
-                    t.insert(v6census_addr::Prefix::of(a, 112), 1);
-                }
-                black_box(t.densify_in_place(2, 112).len())
-            })
+        h.bench(&format!("densify_2_at_112/trie_in_place/{n}"), || {
+            let mut t = RadixTree::new();
+            for a in set.iter() {
+                t.insert(v6census_addr::Prefix::of(a, 112), 1);
+            }
+            black_box(t.densify_in_place(2, 112).len())
         });
     }
-    g.finish();
-}
 
-fn bench_parameter_sweep(c: &mut Criterion) {
     let set = population(50_000);
-    c.bench_function("table3_parameter_space", |b| {
-        b.iter(|| {
-            let mut total = 0usize;
-            for class in v6census_census::tables::table3_classes() {
-                total += class.dense_prefixes(&set).len();
-            }
-            black_box(total)
-        })
+    h.bench("table3_parameter_space", || {
+        let mut total = 0usize;
+        for class in v6census_census::tables::table3_classes() {
+            total += class.dense_prefixes(&set).len();
+        }
+        black_box(total)
     });
 }
-
-criterion_group!(benches, bench_densify, bench_parameter_sweep);
-criterion_main!(benches);

@@ -1,8 +1,7 @@
 //! Microbenchmarks for MRA aggregate-count and curve computation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use v6census_addr::Addr;
+use v6census_bench::timing::{black_box, Harness};
 use v6census_core::spatial::{MraCurve, MraResolution};
 use v6census_trie::{AddrSet, AggregateCounts};
 
@@ -14,39 +13,31 @@ fn population(n: u64) -> AddrSet {
     }))
 }
 
-fn bench_aggregate_counts(c: &mut Criterion) {
-    let mut g = c.benchmark_group("aggregate_counts");
-    g.sample_size(10);
+fn main() {
+    let h = Harness::from_env();
+
     for n in [10_000u64, 100_000, 1_000_000] {
         let set = population(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
-            b.iter(|| black_box(AggregateCounts::of(set).n(64)))
+        h.bench(&format!("aggregate_counts/{n}"), || {
+            black_box(AggregateCounts::of(&set).n(64))
         });
     }
-    g.finish();
-}
 
-fn bench_curves_and_signature(c: &mut Criterion) {
     let set = population(100_000);
-    c.bench_function("mra_all_curves_100k", |b| {
-        b.iter(|| {
-            let mra = MraCurve::of(&set);
-            let mut acc = 0.0;
-            for res in [
-                MraResolution::SingleBit,
-                MraResolution::Nybble,
-                MraResolution::Segment16,
-            ] {
-                acc += mra.curve(res).iter().map(|&(_, r)| r).sum::<f64>();
-            }
-            black_box(acc)
-        })
+    h.bench("mra_all_curves_100k", || {
+        let mra = MraCurve::of(&set);
+        let mut acc = 0.0;
+        for res in [
+            MraResolution::SingleBit,
+            MraResolution::Nybble,
+            MraResolution::Segment16,
+        ] {
+            acc += mra.curve(res).iter().map(|&(_, r)| r).sum::<f64>();
+        }
+        black_box(acc)
     });
     let mra = MraCurve::of(&set);
-    c.bench_function("privacy_signature", |b| {
-        b.iter(|| black_box(mra.privacy_signature().matches()))
+    h.bench("privacy_signature", || {
+        black_box(mra.privacy_signature().matches())
     });
 }
-
-criterion_group!(benches, bench_aggregate_counts, bench_curves_and_signature);
-criterion_main!(benches);

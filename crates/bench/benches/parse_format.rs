@@ -1,8 +1,7 @@
 //! Microbenchmarks for address parsing and formatting.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
 use v6census_addr::Addr;
+use v6census_bench::timing::{black_box, Harness};
 
 fn inputs() -> Vec<String> {
     let mut out = Vec::new();
@@ -17,69 +16,53 @@ fn inputs() -> Vec<String> {
     out
 }
 
-fn bench_parse(c: &mut Criterion) {
-    let texts = inputs();
-    c.bench_function("parse_presentation_format", |b| {
-        b.iter(|| {
-            let mut acc = 0u128;
-            for t in &texts {
-                if let Ok(a) = t.parse::<Addr>() {
-                    acc ^= a.0;
-                }
-            }
-            black_box(acc)
-        })
-    });
-    c.bench_function("parse_fixed_hex", |b| {
-        let fixed: Vec<String> = (0..1_000u64)
-            .map(|i| Addr((i as u128) << 32 | 0x2001 << 112).to_fixed_hex())
-            .collect();
-        b.iter(|| {
-            let mut acc = 0u128;
-            for t in &fixed {
-                acc ^= Addr::from_fixed_hex(t).unwrap().0;
-            }
-            black_box(acc)
-        })
-    });
-}
+fn main() {
+    let h = Harness::from_env();
 
-fn bench_format(c: &mut Criterion) {
+    let texts = inputs();
+    h.bench("parse_presentation_format", || {
+        let mut acc = 0u128;
+        for t in &texts {
+            if let Ok(a) = t.parse::<Addr>() {
+                acc ^= a.0;
+            }
+        }
+        black_box(acc)
+    });
+
+    let fixed: Vec<String> = (0..1_000u64)
+        .map(|i| Addr((i as u128) << 32 | 0x2001 << 112).to_fixed_hex())
+        .collect();
+    h.bench("parse_fixed_hex", || {
+        let mut acc = 0u128;
+        for t in &fixed {
+            acc ^= Addr::from_fixed_hex(t).unwrap().0;
+        }
+        black_box(acc)
+    });
+
     let addrs: Vec<Addr> = (0..1_000u64)
         .map(|i| Addr(((0x2400_4000u128) << 96) | (i as u128) << 48 | i as u128))
         .collect();
-    c.bench_function("format_rfc5952", |b| {
-        b.iter_batched(
-            || addrs.clone(),
-            |addrs| {
-                let mut n = 0usize;
-                for a in addrs {
-                    n += a.to_string().len();
-                }
-                black_box(n)
-            },
-            BatchSize::SmallInput,
-        )
+    h.bench("format_rfc5952", || {
+        let mut n = 0usize;
+        for &a in &addrs {
+            n += a.to_string().len();
+        }
+        black_box(n)
     });
-}
 
-fn bench_classify(c: &mut Criterion) {
     let addrs: Vec<Addr> = (0..1_000u64)
         .map(|i| {
             let iid = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
             Addr(((0x2001_0db8u128) << 96) | iid as u128)
         })
         .collect();
-    c.bench_function("scheme_classify", |b| {
-        b.iter(|| {
-            let mut n = 0usize;
-            for &a in &addrs {
-                n += v6census_addr::scheme::classify(a).label().len();
-            }
-            black_box(n)
-        })
+    h.bench("scheme_classify", || {
+        let mut n = 0usize;
+        for &a in &addrs {
+            n += v6census_addr::scheme::classify(a).label().len();
+        }
+        black_box(n)
     });
 }
-
-criterion_group!(benches, bench_parse, bench_format, bench_classify);
-criterion_main!(benches);

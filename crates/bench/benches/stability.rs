@@ -2,9 +2,8 @@
 //! windows, including the window-size sweep the paper marks as future
 //! work.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use v6census_addr::Addr;
+use v6census_bench::timing::{black_box, Harness};
 use v6census_core::temporal::{DailyObservations, Day, StabilityParams};
 use v6census_trie::AddrSet;
 
@@ -28,52 +27,33 @@ fn history(daily: u64, stable_share: f64) -> (DailyObservations, Day) {
     (obs, base + 7)
 }
 
-fn bench_stable_on(c: &mut Criterion) {
-    let mut g = c.benchmark_group("stable_on_3d");
-    g.sample_size(10);
+fn main() {
+    let h = Harness::from_env();
+
     for daily in [10_000u64, 100_000] {
         let (obs, reference) = history(daily, 0.1);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(daily),
-            &(obs, reference),
-            |b, (obs, reference)| {
-                b.iter(|| {
-                    black_box(
-                        obs.stable_on(*reference, &StabilityParams::three_day())
-                            .len(),
-                    )
-                })
-            },
-        );
-    }
-    g.finish();
-}
-
-fn bench_window_sweep(c: &mut Criterion) {
-    let (obs, reference) = history(50_000, 0.1);
-    let mut g = c.benchmark_group("window_sweep_50k");
-    g.sample_size(10);
-    for reach in [3u32, 7, 14] {
-        g.bench_with_input(BenchmarkId::from_parameter(reach), &reach, |b, &reach| {
-            let params = StabilityParams::nd(3).with_window(reach, reach);
-            b.iter(|| black_box(obs.stable_on(reference, &params).len()))
-        });
-    }
-    g.finish();
-}
-
-fn bench_weekly(c: &mut Criterion) {
-    let (obs, reference) = history(20_000, 0.1);
-    c.bench_function("stable_over_week_20k", |b| {
-        b.iter(|| {
+        h.bench(&format!("stable_on_3d/{daily}"), || {
             black_box(
-                obs.stable_over_week(reference - 3, &StabilityParams::three_day())
-                    .stable
+                obs.stable_on(reference, &StabilityParams::three_day())
                     .len(),
             )
-        })
+        });
+    }
+
+    let (obs, reference) = history(50_000, 0.1);
+    for reach in [3u32, 7, 14] {
+        let params = StabilityParams::nd(3).with_window(reach, reach);
+        h.bench(&format!("window_sweep_50k/{reach}"), || {
+            black_box(obs.stable_on(reference, &params).len())
+        });
+    }
+
+    let (obs, reference) = history(20_000, 0.1);
+    h.bench("stable_over_week_20k", || {
+        black_box(
+            obs.stable_over_week(reference - 3, &StabilityParams::three_day())
+                .stable
+                .len(),
+        )
     });
 }
-
-criterion_group!(benches, bench_stable_on, bench_window_sweep, bench_weekly);
-criterion_main!(benches);

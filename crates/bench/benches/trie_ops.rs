@@ -1,9 +1,8 @@
 //! Microbenchmarks for the Patricia trie: inserts, longest-prefix match,
 //! and subtree counting.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use v6census_addr::{Addr, Prefix};
+use v6census_bench::timing::{black_box, Harness};
 use v6census_trie::{PrefixMap, RadixTree};
 
 fn synth_addrs(n: u64) -> Vec<Addr> {
@@ -16,25 +15,20 @@ fn synth_addrs(n: u64) -> Vec<Addr> {
         .collect()
 }
 
-fn bench_insert(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trie_insert");
-    g.sample_size(10);
+fn main() {
+    let h = Harness::from_env();
+
     for n in [1_000u64, 10_000, 100_000] {
         let addrs = synth_addrs(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &addrs, |b, addrs| {
-            b.iter(|| {
-                let mut t = RadixTree::new();
-                for &a in addrs {
-                    t.insert_addr(a, 1);
-                }
-                black_box(t.total())
-            })
+        h.bench(&format!("trie_insert/{n}"), || {
+            let mut t = RadixTree::new();
+            for &a in &addrs {
+                t.insert_addr(a, 1);
+            }
+            black_box(t.total())
         });
     }
-    g.finish();
-}
 
-fn bench_lpm(c: &mut Criterion) {
     let mut rt: PrefixMap<u32> = PrefixMap::new();
     for i in 0..5_000u32 {
         let p = Prefix::new(
@@ -44,20 +38,16 @@ fn bench_lpm(c: &mut Criterion) {
         rt.insert(p, i);
     }
     let probes = synth_addrs(10_000);
-    c.bench_function("prefix_map_lpm_10k", |b| {
-        b.iter(|| {
-            let mut hits = 0usize;
-            for &a in &probes {
-                if rt.longest_match(a).is_some() {
-                    hits += 1;
-                }
+    h.bench("prefix_map_lpm_10k", || {
+        let mut hits = 0usize;
+        for &a in &probes {
+            if rt.longest_match(a).is_some() {
+                hits += 1;
             }
-            black_box(hits)
-        })
+        }
+        black_box(hits)
     });
-}
 
-fn bench_count_within(c: &mut Criterion) {
     let addrs = synth_addrs(50_000);
     let mut t = RadixTree::new();
     for &a in &addrs {
@@ -66,16 +56,11 @@ fn bench_count_within(c: &mut Criterion) {
     let probes: Vec<Prefix> = (0..1_000u64)
         .map(|i| Prefix::of(addrs[(i * 37 % addrs.len() as u64) as usize], 64))
         .collect();
-    c.bench_function("count_within_1k_probes", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &p in &probes {
-                acc += t.count_within(p);
-            }
-            black_box(acc)
-        })
+    h.bench("count_within_1k_probes", || {
+        let mut acc = 0u64;
+        for &p in &probes {
+            acc += t.count_within(p);
+        }
+        black_box(acc)
     });
 }
-
-criterion_group!(benches, bench_insert, bench_lpm, bench_count_within);
-criterion_main!(benches);

@@ -9,7 +9,10 @@ use v6census_synth::world::epochs;
 
 fn main() {
     let opts = Opts::parse();
-    eprintln!("[dense_www] building March 2015 window at scale {}…", opts.scale);
+    eprintln!(
+        "[dense_www] building March 2015 window at scale {}…",
+        opts.scale
+    );
     let snap = Snapshot::build_mar2015(&opts);
     let r = dense_www(&snap.census, epochs::mar2015());
     let report = format!(

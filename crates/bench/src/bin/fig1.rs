@@ -20,9 +20,8 @@ fn main() {
             "(iv) SLAAC privacy (pseudorandom IID)",
         ),
     ];
-    let mut out = String::from(
-        "Sample IPv6 addresses (paper Figure 1), with content classification:\n\n",
-    );
+    let mut out =
+        String::from("Sample IPv6 addresses (paper Figure 1), with content classification:\n\n");
     for (text, caption) in samples {
         let a: Addr = text.parse().expect("figure addresses parse");
         let scheme = classify(a);

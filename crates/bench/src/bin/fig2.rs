@@ -13,7 +13,9 @@ fn main() {
     let opts = Opts::parse();
     eprintln!("[fig2] building March 2015 week at scale {}…", opts.scale);
     let snap = Snapshot::build_mar2015(&opts);
-    let week: Vec<Day> = epochs::mar2015().range_inclusive(epochs::mar2015() + 6).collect();
+    let week: Vec<Day> = epochs::mar2015()
+        .range_inclusive(epochs::mar2015() + 6)
+        .collect();
     let week_set = snap.census.other_over(week.iter().copied());
 
     let by_asn = snap.rt.group_by_asn(&week_set);

@@ -11,7 +11,10 @@ use v6census_synth::world::epochs;
 
 fn main() {
     let opts = Opts::parse();
-    eprintln!("[highlights] building 3-epoch snapshot at scale {}…", opts.scale);
+    eprintln!(
+        "[highlights] building 3-epoch snapshot at scale {}…",
+        opts.scale
+    );
     let snap = Snapshot::build(&opts);
     let d15 = epochs::mar2015();
     let week15: Vec<Day> = d15.range_inclusive(d15 + 6).collect();

@@ -11,7 +11,10 @@ use v6census_synth::world::epochs;
 
 fn main() {
     let opts = Opts::parse();
-    eprintln!("[ptr_harvest] building March 2015 window at scale {}…", opts.scale);
+    eprintln!(
+        "[ptr_harvest] building March 2015 window at scale {}…",
+        opts.scale
+    );
     let snap = Snapshot::build_mar2015(&opts);
     let d = epochs::mar2015();
     let sim = ProbeSim::new(&snap.world, d);

@@ -6,15 +6,16 @@
 
 use v6census_bench::{epoch_specs, Opts, Snapshot};
 use v6census_census::experiments::{
-    classifier_evaluation, dense_www, eui64_analysis, ptr_harvest, router_discovery,
-    sample_every,
+    classifier_evaluation, dense_www, eui64_analysis, ptr_harvest, router_discovery, sample_every,
 };
 use v6census_census::figures::{
     asn_highlights, AsnDistributionFigure, MraFigure, PopulationFigure, SegmentRatioFigure,
     StabilityFigure,
 };
 use v6census_census::humane::si;
-use v6census_census::plot::{ascii_ccdf, ascii_mra, ascii_stability, tsv_ccdf, tsv_mra, tsv_stability};
+use v6census_census::plot::{
+    ascii_ccdf, ascii_mra, ascii_stability, tsv_ccdf, tsv_mra, tsv_stability,
+};
 use v6census_census::svg::{svg_ccdf, svg_mra};
 use v6census_census::tables::{table1, Table2, Table3};
 use v6census_core::temporal::{Day, StabilityParams};
@@ -44,10 +45,30 @@ fn main() {
 
     // ---- Table 2 -------------------------------------------------------
     for (name, caption, obs, weekly) in [
-        ("table2a_addr_daily.txt", "(a) Stability of IPv6 addresses per day", snap.census.other_daily(), false),
-        ("table2b_64_daily.txt", "(b) Stability of /64 prefixes per day", snap.census.other64_daily(), false),
-        ("table2c_addr_weekly.txt", "(c) Stability of IPv6 addresses per week", snap.census.other_daily(), true),
-        ("table2d_64_weekly.txt", "(d) Stability of /64 prefixes per week", snap.census.other64_daily(), true),
+        (
+            "table2a_addr_daily.txt",
+            "(a) Stability of IPv6 addresses per day",
+            snap.census.other_daily(),
+            false,
+        ),
+        (
+            "table2b_64_daily.txt",
+            "(b) Stability of /64 prefixes per day",
+            snap.census.other64_daily(),
+            false,
+        ),
+        (
+            "table2c_addr_weekly.txt",
+            "(c) Stability of IPv6 addresses per week",
+            snap.census.other_daily(),
+            true,
+        ),
+        (
+            "table2d_64_weekly.txt",
+            "(d) Stability of /64 prefixes per week",
+            snap.census.other64_daily(),
+            true,
+        ),
     ] {
         let t = if weekly {
             Table2::weekly(caption, obs, &specs, params)
@@ -103,7 +124,10 @@ fn main() {
     let fig3 = PopulationFigure::figure3(&week_set);
     opts.emit("fig3_population_ccdf.txt", &ascii_ccdf(&fig3));
     opts.emit("fig3_population_ccdf.tsv", &tsv_ccdf(&fig3));
-    opts.emit("fig3_population_ccdf.svg", &svg_ccdf("Figure 3: aggregate populations", &fig3));
+    opts.emit(
+        "fig3_population_ccdf.svg",
+        &svg_ccdf("Figure 3: aggregate populations", &fig3),
+    );
 
     // Restrict the series to the March 2015 window — the snapshot also
     // holds the 2014 epochs, which belong to Table 2, not Figure 4.
@@ -122,7 +146,11 @@ fn main() {
         f
     };
     let fig4a = window(StabilityFigure::of(snap.census.other_daily(), d15, d15 + 6));
-    let fig4b = window(StabilityFigure::of(snap.census.other64_daily(), d15, d15 + 6));
+    let fig4b = window(StabilityFigure::of(
+        snap.census.other64_daily(),
+        d15,
+        d15 + 6,
+    ));
     opts.emit("fig4a_addr_stability.txt", &ascii_stability(&fig4a));
     opts.emit("fig4a_addr_stability.tsv", &tsv_stability(&fig4a));
     opts.emit("fig4b_64_stability.txt", &ascii_stability(&fig4b));
@@ -180,12 +208,30 @@ fn main() {
         )
     };
     for (name, fig) in [
-        ("fig5c_all", MraFigure::of("(5c) all native clients", &week_set)),
-        ("fig5d_6to4", MraFigure::of("(5d) 6to4 clients", &sixtofour_week)),
-        ("fig5e_us_mobile", MraFigure::of("(5e) US mobile carrier", &asn_set(asns::MOBILE_A))),
-        ("fig5f_eu_isp", MraFigure::of("(5f) EU ISP", &asn_set(asns::EU_ISP))),
-        ("fig5g_univ_dept", MraFigure::of("(5g) EU univ. dept /64", &dept64)),
-        ("fig5h_jp_isp", MraFigure::of("(5h) JP ISP", &asn_set(asns::JP_ISP))),
+        (
+            "fig5c_all",
+            MraFigure::of("(5c) all native clients", &week_set),
+        ),
+        (
+            "fig5d_6to4",
+            MraFigure::of("(5d) 6to4 clients", &sixtofour_week),
+        ),
+        (
+            "fig5e_us_mobile",
+            MraFigure::of("(5e) US mobile carrier", &asn_set(asns::MOBILE_A)),
+        ),
+        (
+            "fig5f_eu_isp",
+            MraFigure::of("(5f) EU ISP", &asn_set(asns::EU_ISP)),
+        ),
+        (
+            "fig5g_univ_dept",
+            MraFigure::of("(5g) EU univ. dept /64", &dept64),
+        ),
+        (
+            "fig5h_jp_isp",
+            MraFigure::of("(5h) JP ISP", &asn_set(asns::JP_ISP)),
+        ),
     ] {
         opts.emit(&format!("{name}.txt"), &ascii_mra(&fig));
         opts.emit(&format!("{name}.tsv"), &tsv_mra(&fig));
@@ -193,7 +239,12 @@ fn main() {
     }
 
     // ---- In-text experiments --------------------------------------------
-    let rd = router_discovery(&snap.world, &snap.census, d15, (24_000.0 * opts.scale) as usize);
+    let rd = router_discovery(
+        &snap.world,
+        &snap.census,
+        d15,
+        (24_000.0 * opts.scale) as usize,
+    );
     opts.emit(
         "router_discovery.txt",
         &format!(

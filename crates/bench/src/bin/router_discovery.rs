@@ -9,7 +9,10 @@ use v6census_synth::world::epochs;
 
 fn main() {
     let opts = Opts::parse();
-    eprintln!("[router_discovery] building March 2015 window at scale {}…", opts.scale);
+    eprintln!(
+        "[router_discovery] building March 2015 window at scale {}…",
+        opts.scale
+    );
     let snap = Snapshot::build_mar2015(&opts);
     let targets = (24_000.0 * opts.scale) as usize;
     let r = router_discovery(&snap.world, &snap.census, epochs::mar2015(), targets);

@@ -11,7 +11,10 @@ use v6census_trie::AddrSet;
 
 fn main() {
     let opts = Opts::parse();
-    eprintln!("[stable_prefixes] building 3-epoch snapshot at scale {}…", opts.scale);
+    eprintln!(
+        "[stable_prefixes] building 3-epoch snapshot at scale {}…",
+        opts.scale
+    );
     let snap = Snapshot::build(&opts);
     let m15 = epochs::mar2015();
     let s14 = epochs::sep2014();
@@ -42,11 +45,7 @@ fn main() {
     for (label, asn) in interesting {
         let c = by_asn_cur.get(&asn).unwrap_or(&empty);
         let o = by_asn_old.get(&asn).unwrap_or(&empty);
-        let spec = v6census_core::temporal::stable_fraction_spectrum(
-            c,
-            o,
-            (24..=64).step_by(8),
-        );
+        let spec = v6census_core::temporal::stable_fraction_spectrum(c, o, (24..=64).step_by(8));
         let frac = |p: u8| {
             spec.points
                 .iter()

@@ -8,7 +8,10 @@ use v6census_core::temporal::StabilityParams;
 
 fn main() {
     let opts = Opts::parse();
-    eprintln!("[table2] building 3-epoch snapshot at scale {}…", opts.scale);
+    eprintln!(
+        "[table2] building 3-epoch snapshot at scale {}…",
+        opts.scale
+    );
     let snap = Snapshot::build(&opts);
     let specs = epoch_specs();
     let params = StabilityParams::three_day();

@@ -1,5 +1,5 @@
 //! Shared harness for the experiment regenerators (one binary per paper
-//! table/figure) and the Criterion benchmarks.
+//! table/figure) and the microbenchmarks.
 //!
 //! Every binary accepts `--scale <f64>` (default 0.25; 1.0 ≈ 1/1000 of
 //! the paper's population), `--seed <u64>`, and `--out <dir>` (write
@@ -87,6 +87,55 @@ impl Opts {
             let path = dir.join(name);
             std::fs::write(&path, content).expect("write report file");
             eprintln!("[wrote {}]", path.display());
+        }
+    }
+}
+
+/// A minimal wall-clock timing harness so `cargo bench` works with no
+/// external crates. Each benchmark runs one warm-up pass, then a fixed
+/// number of timed samples; the report shows the minimum (least noisy)
+/// and median. `--quick` (or `BENCH_QUICK=1`) trims samples for smoke
+/// runs in CI.
+pub mod timing {
+    pub use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    /// Collects and prints timings for a group of benchmarks.
+    pub struct Harness {
+        samples: usize,
+    }
+
+    impl Default for Harness {
+        fn default() -> Harness {
+            Harness { samples: 10 }
+        }
+    }
+
+    impl Harness {
+        /// Builds a harness, honoring `--quick` / `BENCH_QUICK=1`.
+        pub fn from_env() -> Harness {
+            let quick = std::env::args().any(|a| a == "--quick")
+                || std::env::var_os("BENCH_QUICK").is_some();
+            Harness {
+                samples: if quick { 2 } else { 10 },
+            }
+        }
+
+        /// Times `f` and prints one report line. The closure's result is
+        /// passed through [`black_box`] so the work is not optimized out.
+        pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+            black_box(f()); // warm-up: page in data, warm caches
+            let mut times: Vec<Duration> = (0..self.samples)
+                .map(|_| {
+                    let start = Instant::now();
+                    black_box(f());
+                    start.elapsed()
+                })
+                .collect();
+            times.sort();
+            let min = times[0];
+            let median = times[times.len() / 2];
+            println!("{name:<44} min {min:>12.2?}   median {median:>12.2?}");
         }
     }
 }

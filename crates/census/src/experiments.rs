@@ -123,9 +123,7 @@ pub fn eui64_analysis(census: &Census, rt: &RoutingTable, first: Day) -> Eui64An
             not_stable_eui.push(a);
         }
     }
-    let mac_of = |a: Addr| -> Option<v6census_addr::Mac> {
-        v6census_addr::Iid::of(a).eui64_mac()
-    };
+    let mac_of = |a: Addr| -> Option<v6census_addr::Mac> { v6census_addr::Iid::of(a).eui64_mac() };
     let mut multi = 0usize;
     let mut in_stable = 0usize;
     for &a in &not_stable_eui {
@@ -459,10 +457,7 @@ mod tests {
         let r = dense_www(&c, epochs::mar2015());
         assert!(r.dense_prefixes > 0, "no dense WWW prefixes");
         assert!(r.covered_addresses >= 2 * r.dense_prefixes as u64);
-        assert_eq!(
-            r.possible_addresses,
-            r.dense_prefixes as u128 * 65_536
-        );
+        assert_eq!(r.possible_addresses, r.dense_prefixes as u128 * 65_536);
     }
 
     #[test]
@@ -486,7 +481,10 @@ mod tests {
 
     #[test]
     fn nid_inference_separates_static_from_dynamic() {
-        let w = World::standard(WorldConfig { seed: 29, scale: 0.1 });
+        let w = World::standard(WorldConfig {
+            seed: 29,
+            scale: 0.1,
+        });
         let m15 = epochs::mar2015();
         let s14 = epochs::sep2014();
         let mut c = Census::new_empty();

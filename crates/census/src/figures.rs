@@ -35,10 +35,7 @@ impl MraFigure {
         MraFigure {
             title: title.to_string(),
             total: mra.total(),
-            curves: resolutions
-                .iter()
-                .map(|&r| (r, mra.curve(r)))
-                .collect(),
+            curves: resolutions.iter().map(|&r| (r, mra.curve(r))).collect(),
             common_prefix: mra.common_prefix_len(),
         }
     }
@@ -145,9 +142,8 @@ impl AsnDistributionFigure {
         week_eui64: &AddrSet,
         six_month_stable_64s: &AddrSet,
     ) -> AsnDistributionFigure {
-        let per_asn = |set: &AddrSet| -> Vec<u64> {
-            rt.count_by_asn(set).values().copied().collect()
-        };
+        let per_asn =
+            |set: &AddrSet| -> Vec<u64> { rt.count_by_asn(set).values().copied().collect() };
         let addrs = per_asn(week_addrs);
         let active_asns = addrs.len();
         AsnDistributionFigure {
@@ -185,7 +181,11 @@ impl SegmentRatioFigure {
     /// Computes the figure: per BGP prefix with at least `min_addrs`
     /// active addresses, the γ¹⁶ ratio at each 16-bit segment; then the
     /// distribution of each segment's ratios across prefixes.
-    pub fn figure5b(rt: &RoutingTable, week_addrs: &AddrSet, min_addrs: usize) -> SegmentRatioFigure {
+    pub fn figure5b(
+        rt: &RoutingTable,
+        week_addrs: &AddrSet,
+        min_addrs: usize,
+    ) -> SegmentRatioFigure {
         let groups = rt.group_by_prefix(week_addrs);
         let mut per_segment: BTreeMap<u8, Vec<f64>> = BTreeMap::new();
         let mut prefixes = 0usize;

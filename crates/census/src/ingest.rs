@@ -38,6 +38,13 @@ pub struct DaySummary {
 impl DaySummary {
     /// Classifies and culls one day's aggregated log.
     pub fn from_log(log: &DayLog) -> DaySummary {
+        DaySummary::from_entries(log.day, log.entries.iter().map(|e| (e.addr, e.hits)))
+    }
+
+    /// Classifies and culls weighted `(address, hits)` entries for one
+    /// day — the streaming ingestion path, where entries come from parsed
+    /// text rather than an in-memory [`DayLog`].
+    pub fn from_entries(day: Day, entries: impl IntoIterator<Item = (Addr, u64)>) -> DaySummary {
         let mut teredo = Vec::new();
         let mut isatap = Vec::new();
         let mut sixtofour = Vec::new();
@@ -45,22 +52,22 @@ impl DaySummary {
         let mut eui64 = Vec::new();
         let mut eui64_macs = BTreeSet::new();
         let mut hits = 0u64;
-        for e in &log.entries {
-            hits += e.hits;
-            match classify(e.addr) {
-                AddressScheme::Teredo => teredo.push(e.addr),
-                AddressScheme::Isatap => isatap.push(e.addr),
-                AddressScheme::SixToFour => sixtofour.push(e.addr),
+        for (addr, h) in entries {
+            hits += h;
+            match classify(addr) {
+                AddressScheme::Teredo => teredo.push(addr),
+                AddressScheme::Isatap => isatap.push(addr),
+                AddressScheme::SixToFour => sixtofour.push(addr),
                 AddressScheme::Eui64(mac) => {
-                    other.push(e.addr);
-                    eui64.push(e.addr);
+                    other.push(addr);
+                    eui64.push(addr);
                     eui64_macs.insert(mac);
                 }
-                _ => other.push(e.addr),
+                _ => other.push(addr),
             }
         }
         DaySummary {
-            day: log.day,
+            day,
             teredo: AddrSet::from_iter(teredo),
             isatap: AddrSet::from_iter(isatap),
             sixtofour: AddrSet::from_iter(sixtofour),
@@ -69,6 +76,25 @@ impl DaySummary {
             eui64_macs,
             hits,
         }
+    }
+
+    /// Merges another summary *for the same day* into this one: category
+    /// unions, hit totals summed.
+    ///
+    /// # Panics
+    /// Panics if the days differ — merging across days is always a bug.
+    pub fn merge(&mut self, other: &DaySummary) {
+        assert_eq!(
+            self.day, other.day,
+            "cannot merge summaries of different days"
+        );
+        self.teredo = self.teredo.union(&other.teredo);
+        self.isatap = self.isatap.union(&other.isatap);
+        self.sixtofour = self.sixtofour.union(&other.sixtofour);
+        self.other = self.other.union(&other.other);
+        self.eui64 = self.eui64.union(&other.eui64);
+        self.eui64_macs.extend(other.eui64_macs.iter().copied());
+        self.hits += other.hits;
     }
 
     /// Total active addresses across all categories (the percentage base
@@ -85,8 +111,14 @@ impl DaySummary {
 
 /// A multi-day census over a world: per-day culled summaries plus the
 /// observation stores that feed the temporal classifier.
+///
+/// Days are indexed (`Day → summary`) so per-day lookups are O(log d)
+/// rather than linear scans, and duplicate-day ingestion is an explicit
+/// decision: [`Census::ingest`] merges, [`Census::try_ingest`] rejects.
 pub struct Census {
     summaries: Vec<DaySummary>,
+    /// Day → position in `summaries`.
+    index: std::collections::BTreeMap<Day, usize>,
     other_daily: DailyObservations,
     other64_daily: DailyObservations,
 }
@@ -96,6 +128,7 @@ impl Census {
     pub fn new_empty() -> Census {
         Census {
             summaries: Vec::new(),
+            index: std::collections::BTreeMap::new(),
             other_daily: DailyObservations::new(),
             other64_daily: DailyObservations::new(),
         }
@@ -111,12 +144,47 @@ impl Census {
     }
 
     /// Ingests one pre-generated log (for callers generating days in
-    /// parallel).
+    /// parallel). A day already present is **merged** (category unions,
+    /// hits summed); use [`Census::try_ingest`] to reject duplicates
+    /// instead.
     pub fn ingest(&mut self, log: &DayLog) {
-        let s = DaySummary::from_log(log);
+        self.ingest_summary(DaySummary::from_log(log));
+    }
+
+    /// Ingests a pre-culled summary, merging into an existing same-day
+    /// summary if one exists.
+    pub fn ingest_summary(&mut self, s: DaySummary) {
         self.other_daily.record(s.day, s.other.clone());
         self.other64_daily.record(s.day, s.other_64s());
-        self.summaries.push(s);
+        match self.index.get(&s.day) {
+            Some(&i) => self.summaries[i].merge(&s),
+            None => {
+                self.index.insert(s.day, self.summaries.len());
+                self.summaries.push(s);
+            }
+        }
+    }
+
+    /// Ingests a summary only if its day is new; a duplicate day is
+    /// rejected with the summary handed back untouched so the caller can
+    /// choose to merge it instead (hence the deliberately large `Err`).
+    #[allow(clippy::result_large_err)]
+    pub fn try_ingest(&mut self, s: DaySummary) -> Result<(), DaySummary> {
+        if self.index.contains_key(&s.day) {
+            return Err(s);
+        }
+        self.ingest_summary(s);
+        Ok(())
+    }
+
+    /// True when `day` has been ingested.
+    pub fn has_day(&self, day: Day) -> bool {
+        self.index.contains_key(&day)
+    }
+
+    /// The ingested days, ascending.
+    pub fn days(&self) -> impl Iterator<Item = Day> + '_ {
+        self.index.keys().copied()
     }
 
     /// The per-day summaries, in ingestion order.
@@ -124,9 +192,9 @@ impl Census {
         &self.summaries
     }
 
-    /// The summary for one day, if ingested.
+    /// The summary for one day, if ingested. O(log days) via the index.
     pub fn summary(&self, day: Day) -> Option<&DaySummary> {
-        self.summaries.iter().find(|s| s.day == day)
+        self.index.get(&day).map(|&i| &self.summaries[i])
     }
 
     /// Daily "Other" address observations (temporal classifier input).
@@ -148,17 +216,14 @@ impl Census {
         )
     }
 
-    /// Union of EUI-64 "Other" addresses over `days`.
+    /// Union of EUI-64 "Other" addresses over `days`. Each day resolves
+    /// through the index — O(k log d), not a scan per day.
     pub fn eui64_over(&self, days: impl IntoIterator<Item = Day>) -> AddrSet {
-        let wanted: Vec<&AddrSet> = {
-            let days: Vec<Day> = days.into_iter().collect();
-            self.summaries
-                .iter()
-                .filter(|s| days.contains(&s.day))
-                .map(|s| &s.eui64)
-                .collect()
-        };
-        AddrSet::union_all(wanted)
+        AddrSet::union_all(
+            days.into_iter()
+                .filter_map(|d| self.summary(d).map(|s| &s.eui64))
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// The full classification join for one day: every "Other" address
@@ -312,7 +377,10 @@ mod tests {
             "temporal classes must agree with the classifier"
         );
         let dense_count = records.iter().filter(|r| r.dense_in.is_some()).count();
-        assert!(dense_count > 0, "server blocks guarantee some dense members");
+        assert!(
+            dense_count > 0,
+            "server blocks guarantee some dense members"
+        );
         // The record renders with the paper's labels.
         let rendered = records
             .iter()
@@ -320,6 +388,60 @@ mod tests {
             .unwrap()
             .to_string();
         assert!(rendered.contains("2@/112-dense"), "{rendered}");
+    }
+
+    #[test]
+    fn duplicate_day_merges_or_rejects_explicitly() {
+        let w = world();
+        let d = epochs::mar2015();
+        let log = w.day_log(d);
+        let mut c = Census::new_empty();
+        c.ingest(&log);
+        let once_other = c.summary(d).unwrap().other.len();
+        let once_hits = c.summary(d).unwrap().hits;
+        // Merging the same log again must not duplicate the summary...
+        c.ingest(&log);
+        assert_eq!(c.summaries().len(), 1, "merge, not a second entry");
+        assert_eq!(c.summary(d).unwrap().other.len(), once_other);
+        // ...but hit totals accumulate (two deliveries of the same day).
+        assert_eq!(c.summary(d).unwrap().hits, 2 * once_hits);
+        // try_ingest rejects instead.
+        let rejected = c.try_ingest(DaySummary::from_log(&log));
+        assert!(rejected.is_err());
+        assert_eq!(rejected.unwrap_err().day, d);
+        assert!(c
+            .try_ingest(DaySummary::from_log(&w.day_log(d + 1)))
+            .is_ok());
+        assert!(c.has_day(d + 1));
+        assert_eq!(c.days().collect::<Vec<_>>(), vec![d, d + 1]);
+    }
+
+    #[test]
+    fn from_entries_matches_from_log() {
+        let w = world();
+        let log = w.day_log(epochs::mar2015());
+        let a = DaySummary::from_log(&log);
+        let b = DaySummary::from_entries(log.day, log.entries.iter().map(|e| (e.addr, e.hits)));
+        assert_eq!(a.other.len(), b.other.len());
+        assert_eq!(a.teredo.len(), b.teredo.len());
+        assert_eq!(a.eui64_macs, b.eui64_macs);
+        assert_eq!(a.hits, b.hits);
+    }
+
+    #[test]
+    fn indexed_lookup_agrees_with_scan() {
+        let w = world();
+        let d = epochs::mar2015();
+        let c = Census::run(&w, d, d + 4);
+        for day in d.range_inclusive(d + 4) {
+            let via_index = c.summary(day).unwrap();
+            let via_scan = c.summaries().iter().find(|s| s.day == day).unwrap();
+            assert_eq!(via_index.day, via_scan.day);
+            assert_eq!(via_index.other.len(), via_scan.other.len());
+        }
+        let eui = c.eui64_over(d.range_inclusive(d + 4));
+        let manual = AddrSet::union_all(c.summaries().iter().map(|s| &s.eui64));
+        assert_eq!(eui.len(), manual.len());
     }
 
     #[test]

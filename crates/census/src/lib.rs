@@ -13,6 +13,8 @@
 //!   §6.2.2 dense WWW clients, §6.2.3 PTR harvest, and the ground-truth
 //!   classifier evaluation the synthetic world enables.
 //! * [`humane`] — the paper's "318M (95.8%)" number formatting.
+//! * [`stream`] — fault-tolerant streaming ingestion of on-disk day
+//!   logs: error taxonomy, error budgets, retries, checkpoints/resume.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,8 +25,10 @@ pub mod humane;
 pub mod ingest;
 pub mod plot;
 pub mod routing;
+pub mod stream;
 pub mod svg;
 pub mod tables;
 
 pub use ingest::{Census, DaySummary};
 pub use routing::RoutingTable;
+pub use stream::{IngestConfig, IngestError, IngestReport, StreamIngestor};

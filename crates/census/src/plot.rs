@@ -48,7 +48,10 @@ pub fn ascii_mra(fig: &MraFigure) -> String {
         out,
         "        0       16      32      48      64      80      96      112     128"
     );
-    let _ = writeln!(out, "        [# 16-bit segments, o 4-bit segments, . single bits]");
+    let _ = writeln!(
+        out,
+        "        [# 16-bit segments, o 4-bit segments, . single bits]"
+    );
     out
 }
 
@@ -160,11 +163,7 @@ pub fn ascii_stability(fig: &StabilityFigure) -> String {
             out,
             "{} |{:<width$}| {}",
             fig.days[i].md_label(),
-            format!(
-                "{}{}",
-                "█".repeat(bars(fig.active[i])),
-                ""
-            ),
+            format!("{}{}", "█".repeat(bars(fig.active[i])), ""),
             fig.active[i],
             width = WIDTH
         );

@@ -40,7 +40,10 @@ impl RoutingTable {
     pub fn group_by_asn(&self, set: &AddrSet) -> BTreeMap<u32, AddrSet> {
         let mut buckets: BTreeMap<u32, Vec<Addr>> = BTreeMap::new();
         for a in set.iter() {
-            buckets.entry(self.asn_of(a).unwrap_or(0)).or_default().push(a);
+            buckets
+                .entry(self.asn_of(a).unwrap_or(0))
+                .or_default()
+                .push(a);
         }
         buckets
             .into_iter()

@@ -37,7 +37,9 @@ fn svg_header(title: &str) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn polyline(points: &[(f64, f64)], color: &str, dash: &str) -> String {

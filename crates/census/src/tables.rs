@@ -106,7 +106,9 @@ impl Table1 {
             count_pct(c.other as u128, c.total() as u128)
         });
         row("Other /64 prefixes", &|c| si(c.other_64s as u128));
-        row("ave. addrs per /64", &|c| format!("{:.2}", c.addrs_per_64()));
+        row("ave. addrs per /64", &|c| {
+            format!("{:.2}", c.addrs_per_64())
+        });
         row("EUI-64 addr (!6to4)", &|c| {
             count_pct(c.eui64 as u128, c.total() as u128)
         });
@@ -406,7 +408,9 @@ mod tests {
         let e = Day::from_ymd(2014, 9, 17);
         let mk = |names: &[&str]| {
             v6census_trie::AddrSet::from_iter(
-                names.iter().map(|s| s.parse::<v6census_addr::Addr>().unwrap()),
+                names
+                    .iter()
+                    .map(|s| s.parse::<v6census_addr::Addr>().unwrap()),
             )
         };
         obs.record(e, mk(&["2001:db8::1", "2001:db8::5"]));

@@ -1,0 +1,235 @@
+//! `v6census census` — the full fault-tolerant pipeline over a directory
+//! of day-log files: streaming ingestion with an error budget, retries,
+//! checkpoints/`--resume`, then Table 1 and gap-aware nd-stability for a
+//! reference day.
+//!
+//! The output has two sections. The *ingest health* section reports what
+//! happened to every file (and legitimately differs between an
+//! interrupted-then-resumed run and an uninterrupted one); the
+//! *analysis* section is a pure function of the ingested days, so a
+//! resumed census reproduces it byte-for-byte.
+
+use crate::{err, CliError, Flags};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use v6census_census::stream::{DuplicatePolicy, ErrorMode, FileOutcome};
+use v6census_census::tables::{table1, EpochSpec};
+use v6census_census::{IngestConfig, IngestReport, StreamIngestor};
+use v6census_core::temporal::{Day, GapPolicy, StabilityParams, VerdictQuality};
+
+/// Parses the `--gap-policy` flag.
+fn gap_policy(flags: &Flags) -> Result<GapPolicy, CliError> {
+    match flags.get("gap-policy").unwrap_or("widen") {
+        "widen" => Ok(GapPolicy::Widen { max_extra: 7 }),
+        "flag" => Ok(GapPolicy::Flag),
+        "ignore" => Ok(GapPolicy::AssumeInactive),
+        other => Err(err(format!(
+            "bad --gap-policy {other:?}; expected widen, flag, or ignore"
+        ))),
+    }
+}
+
+/// Builds the [`IngestConfig`] from flags (shared with tests).
+pub fn config_from_flags(flags: &Flags) -> Result<IngestConfig, CliError> {
+    let mut cfg = IngestConfig {
+        max_bad_ratio: flags.get_parsed("max-bad-ratio", 0.01f64)?,
+        ..IngestConfig::default()
+    };
+    if !(0.0..=1.0).contains(&cfg.max_bad_ratio) {
+        return Err(err("--max-bad-ratio must be within [0, 1]"));
+    }
+    if flags.has("strict") {
+        cfg.mode = ErrorMode::Strict;
+    }
+    if flags.has("merge-duplicates") {
+        cfg.on_duplicate = DuplicatePolicy::Merge;
+    }
+    if let Some(dir) = flags.get("checkpoint") {
+        cfg.checkpoint_dir = Some(PathBuf::from(dir));
+    }
+    cfg.resume = flags.has("resume");
+    if cfg.resume && cfg.checkpoint_dir.is_none() {
+        return Err(err("--resume requires --checkpoint DIR"));
+    }
+    cfg.max_days = match flags.get("max-days") {
+        None => None,
+        Some(_) => Some(flags.get_parsed("max-days", 0usize)?),
+    };
+    Ok(cfg)
+}
+
+/// Runs the subcommand: ingest the directory, then render health +
+/// analysis sections.
+pub fn census(flags: &Flags) -> Result<String, CliError> {
+    let dir = flags
+        .get("dir")
+        .map(str::to_string)
+        .or_else(|| flags.positional.first().cloned())
+        .ok_or_else(|| err("census requires a log directory (--dir DIR or positional)"))?;
+    let cfg = config_from_flags(flags)?;
+    let ingestor = StreamIngestor::new(cfg);
+    let report = ingestor
+        .ingest_dir(std::path::Path::new(&dir))
+        .map_err(|e| err(format!("ingest failed: {e}")))?;
+    let n: u32 = flags.get_parsed("n", 3u32)?;
+    if n == 0 {
+        return Err(err("--n must be at least 1"));
+    }
+    let params = StabilityParams::nd(n);
+    let reference = match flags.get("reference") {
+        Some(s) => Some(super::synth_day(s)?),
+        None => {
+            // Default: the middle ingested day, so the ±7d window fits.
+            let all: Vec<Day> = report.census.days().collect();
+            (!all.is_empty()).then(|| all[all.len() / 2])
+        }
+    };
+    let policy = gap_policy(flags)?;
+    Ok(render(&report, reference, &params, policy))
+}
+
+/// Renders the two-section report. Split from [`census`] so tests can
+/// drive it with a hand-built report.
+pub fn render(
+    report: &IngestReport,
+    reference: Option<Day>,
+    params: &StabilityParams,
+    policy: GapPolicy,
+) -> String {
+    let mut out = report.health_report();
+    let ingested = report
+        .files
+        .iter()
+        .filter(|f| {
+            matches!(
+                f.outcome,
+                FileOutcome::Ingested | FileOutcome::FromCheckpoint
+            )
+        })
+        .count();
+    let _ = writeln!(
+        out,
+        "files: {} ingested, {} of {} total\n",
+        ingested,
+        report.files.len() - ingested,
+        report.files.len()
+    );
+
+    out.push_str("==== analysis ====\n");
+    let Some(reference) = reference else {
+        out.push_str("no days ingested; nothing to analyze\n");
+        return out;
+    };
+    let _ = writeln!(out, "reference day: {reference}");
+    if report.census.summary(reference).is_some() {
+        let spec = [EpochSpec {
+            label: "reference",
+            reference,
+        }];
+        let (daily, _weekly) = table1(&report.census, &spec);
+        out.push('\n');
+        out.push_str(&daily.render());
+    } else {
+        let _ = writeln!(
+            out,
+            "reference day {reference} was not ingested; Table 1 skipped"
+        );
+    }
+
+    let obs = report.census.other_daily();
+    let active = obs.on(reference);
+    let verdict = obs.stable_on_gapped(reference, params, policy);
+    let _ = writeln!(out, "\nstability of Other addresses on {reference}:");
+    match &verdict.quality {
+        VerdictQuality::Complete => {
+            let _ = writeln!(out, "  window fully covered");
+        }
+        VerdictQuality::Widened {
+            back_extra,
+            fwd_extra,
+        } => {
+            let _ = writeln!(
+                out,
+                "  window widened by -{back_extra}d/+{fwd_extra}d to cover ingestion gaps"
+            );
+        }
+        VerdictQuality::Unknown { missing } => {
+            let days: Vec<String> = missing.iter().map(|d| d.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "  INCONCLUSIVE: window days never ingested: {}",
+                days.join(", ")
+            );
+        }
+    }
+    let stable = verdict.stable.len();
+    if active.is_empty() {
+        let _ = writeln!(out, "  no active addresses on the reference day");
+    } else {
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>10} ({:.2}%)\n  {:<16} {:>10} ({:.2}%)",
+            params.label(),
+            stable,
+            100.0 * stable as f64 / active.len() as f64,
+            format!("not {}d-stable", params.n),
+            active.len() - stable,
+            100.0 * (active.len() - stable) as f64 / active.len() as f64,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Flags {
+        Flags::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn config_parsing() {
+        let cfg = config_from_flags(&flags(&[
+            "--max-bad-ratio=0.25",
+            "--strict",
+            "--checkpoint",
+            "ckpts",
+            "--resume",
+            "--max-days",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.max_bad_ratio, 0.25);
+        assert_eq!(cfg.mode, ErrorMode::Strict);
+        assert_eq!(cfg.checkpoint_dir, Some(PathBuf::from("ckpts")));
+        assert!(cfg.resume);
+        assert_eq!(cfg.max_days, Some(3));
+        let cfg = config_from_flags(&flags(&[])).unwrap();
+        assert_eq!(cfg.mode, ErrorMode::Lenient);
+        assert_eq!(cfg.on_duplicate, DuplicatePolicy::Reject);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(config_from_flags(&flags(&["--max-bad-ratio", "2"])).is_err());
+        assert!(config_from_flags(&flags(&["--resume"])).is_err());
+        assert!(config_from_flags(&flags(&["--max-days", "x"])).is_err());
+        assert!(gap_policy(&flags(&["--gap-policy", "sometimes"])).is_err());
+        assert!(matches!(
+            gap_policy(&flags(&[])).unwrap(),
+            GapPolicy::Widen { .. }
+        ));
+        assert_eq!(
+            gap_policy(&flags(&["--gap-policy=flag"])).unwrap(),
+            GapPolicy::Flag
+        );
+    }
+
+    #[test]
+    fn missing_dir_is_an_error() {
+        assert!(census(&flags(&[])).is_err());
+        let e = census(&flags(&["--dir", "/nonexistent/v6census-test"])).unwrap_err();
+        assert!(e.to_string().contains("ingest failed"), "{e}");
+    }
+}

@@ -45,7 +45,12 @@ pub fn classify(input: &str, flags: &Flags) -> Result<String, CliError> {
         }
     }
     if !tsv {
-        let _ = writeln!(out, "\nsummary ({} addresses, {} unparseable lines):", addrs.len(), bad);
+        let _ = writeln!(
+            out,
+            "\nsummary ({} addresses, {} unparseable lines):",
+            addrs.len(),
+            bad
+        );
         for (label, count) in &histogram {
             let _ = writeln!(
                 out,

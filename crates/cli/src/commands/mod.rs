@@ -2,6 +2,7 @@
 //! read) plus parsed [`crate::Flags`] and returns the output string.
 
 mod aggregate;
+mod census;
 mod classify;
 mod dense;
 mod mra;
@@ -13,6 +14,7 @@ mod synth;
 mod targets;
 
 pub use aggregate::aggregate;
+pub use census::census;
 pub use classify::classify;
 pub use dense::dense;
 pub use mra::mra;
@@ -46,6 +48,12 @@ COMMANDS
   stability             full nd-stable analysis over daily files (§5.1)
                         --dir DIR  (files named YYYY-MM-DD*, one addr/line)
                         [--n 3] [--window 7] [--slew 0] [--reference DATE]
+  census                fault-tolerant pipeline over day-log files:
+                        ingest health report, Table 1, gap-aware stability
+                        --dir DIR (or positional; files named YYYY-MM-DD*)
+                        [--max-bad-ratio 0.01] [--strict] [--merge-duplicates]
+                        [--checkpoint DIR] [--resume] [--max-days N]
+                        [--n 3] [--reference DATE] [--gap-policy widen|flag|ignore]
   targets               probe-target list from dense prefixes (§6.2.2)
                         [--class 2@/112] [--budget 10000] [--include-observed]
   ptr                   addresses -> ip6.arpa names [--reverse]

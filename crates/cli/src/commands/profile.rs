@@ -9,7 +9,7 @@ use v6census_trie::RadixTree;
 
 /// Runs the subcommand.
 pub fn profile(input: &str, flags: &Flags) -> Result<String, CliError> {
-    let (entries, bad) = parse_weighted_lines(input);
+    let (entries, diag) = parse_weighted_lines(input);
     if entries.is_empty() {
         return Err(err("no parseable `address hits` lines on stdin"));
     }
@@ -26,11 +26,12 @@ pub fn profile(input: &str, flags: &Flags) -> Result<String, CliError> {
     let aggregates = tree.aguri_aggregate(threshold);
 
     let mut out = format!(
-        "# aguri profile: {} addrs, {} hits, threshold {:.2}% ({} unparseable lines)\n",
+        "# aguri profile: {} addrs, {} hits, threshold {:.2}% ({} bad addrs, {} bad weights)\n",
         entries.len(),
         total,
         threshold * 100.0,
-        bad
+        diag.bad_addrs,
+        diag.bad_weights
     );
     let _ = writeln!(out, "{:<46} {:>12} {:>8}", "# prefix", "hits", "share");
     for (prefix, hits) in &aggregates {
@@ -66,7 +67,11 @@ mod tests {
 
     #[test]
     fn threshold_validation() {
-        assert!(profile("2001:db8::1 1\n", &Flags::parse(&["--threshold".into(), "2".into()])).is_err());
+        assert!(profile(
+            "2001:db8::1 1\n",
+            &Flags::parse(&["--threshold".into(), "2".into()])
+        )
+        .is_err());
         assert!(profile("", &Flags::default()).is_err());
     }
 }

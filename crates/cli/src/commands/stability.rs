@@ -72,7 +72,11 @@ pub fn stability(days: Vec<DayFile>, flags: &Flags) -> Result<String, CliError> 
         obs.day_count(),
         total_bad
     );
-    let _ = writeln!(out, "{:<12} {:>10} {:>12} {:>10}", "day", "active", "∩reference", "/64s");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>12} {:>10}",
+        "day", "active", "∩reference", "/64s"
+    );
     let ref_set = obs.on(reference);
     for d in obs.days().collect::<Vec<_>>() {
         let set = obs.on(d);
@@ -87,7 +91,10 @@ pub fn stability(days: Vec<DayFile>, flags: &Flags) -> Result<String, CliError> 
         );
     }
 
-    for (what, store) in [("addresses", obs.clone()), ("/64 prefixes", obs.prefix_view(64))] {
+    for (what, store) in [
+        ("addresses", obs.clone()),
+        ("/64 prefixes", obs.prefix_view(64)),
+    ] {
         let active = store.on(reference);
         if active.is_empty() {
             let _ = writeln!(out, "\n{what}: reference day has no observations");
@@ -125,7 +132,10 @@ mod tests {
             day_from_name("2015-03-17.txt"),
             Some(Day::from_ymd(2015, 3, 17))
         );
-        assert_eq!(day_from_name("2015-03-17"), Some(Day::from_ymd(2015, 3, 17)));
+        assert_eq!(
+            day_from_name("2015-03-17"),
+            Some(Day::from_ymd(2015, 3, 17))
+        );
         assert_eq!(day_from_name("notes.txt"), None);
         assert_eq!(day_from_name("2015-13-17.txt"), None);
     }

@@ -38,7 +38,10 @@ pub fn stable(input: &str, earlier_text: &str, flags: &Flags) -> Result<String, 
             }
         }
         None => {
-            let _ = writeln!(out, "\nno length meets the {threshold:.2} stability threshold");
+            let _ = writeln!(
+                out,
+                "\nno length meets the {threshold:.2} stability threshold"
+            );
         }
     }
     Ok(out)
@@ -81,7 +84,12 @@ mod tests {
 
     #[test]
     fn bad_flags() {
-        assert!(stable(&epoch(1), &epoch(2), &Flags::parse(&["--step".into(), "0".into()])).is_err());
+        assert!(stable(
+            &epoch(1),
+            &epoch(2),
+            &Flags::parse(&["--step".into(), "0".into()])
+        )
+        .is_err());
         assert!(stable("", &epoch(1), &Flags::default()).is_err());
         assert!(stable(&epoch(1), "", &Flags::default()).is_err());
     }

@@ -2,7 +2,6 @@
 //! TSV, for piping into the analysis subcommands.
 
 use crate::{err, CliError, Flags};
-use std::fmt::Write as _;
 use v6census_core::temporal::Day;
 use v6census_synth::{World, WorldConfig};
 
@@ -31,12 +30,9 @@ pub fn synth(flags: &Flags) -> Result<String, CliError> {
     }
     let world = World::standard(WorldConfig { seed, scale });
     let log = world.day_log(day);
-    let mut out = format!("# synthetic day {day}: {} unique client addrs\n", log.len());
-    let _ = writeln!(out, "# addr\thits\ttrue_kind");
-    for e in &log.entries {
-        let _ = writeln!(out, "{}\t{}\t{}", e.addr, e.hits, e.kind.label());
-    }
-    Ok(out)
+    // The canonical serialization includes the `# end` integrity trailer
+    // that lets `v6census census` prove a file was not truncated.
+    Ok(log.to_text())
 }
 
 #[cfg(test)]
@@ -56,9 +52,19 @@ mod tests {
         let data_lines: Vec<&str> = out.lines().filter(|l| !l.starts_with('#')).collect();
         assert!(data_lines.len() > 100);
         // Every line round-trips through the weighted parser.
-        let (parsed, bad) = crate::input::parse_weighted_lines(&out);
-        assert_eq!(bad, 0);
+        let (parsed, diag) = crate::input::parse_weighted_lines(&out);
+        assert_eq!(diag.total(), 0);
         assert_eq!(parsed.len(), data_lines.len());
+        // The integrity trailer is present and consistent.
+        let trailer = out.lines().last().unwrap();
+        assert!(
+            trailer.starts_with("# end "),
+            "synth output must end with the integrity trailer, got {trailer:?}"
+        );
+        assert!(
+            trailer.contains(&format!(" {} ", data_lines.len())),
+            "{trailer}"
+        );
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub fn targets(input: &str, flags: &Flags) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "# {} targets from {} {class} prefixes (budget {budget})",
-        "probe", // keep the header grep-able
+        // The literal "probe targets" keeps the header grep-able.
+        "# probe targets from {} {class} prefixes (budget {budget})",
         dense.len()
     );
     // Round-robin across blocks: offset 0 of every block, then offset 1…
@@ -89,11 +89,7 @@ mod tests {
 
     #[test]
     fn include_observed_keeps_members() {
-        let f = Flags::parse(&[
-            "--budget".into(),
-            "5".into(),
-            "--include-observed".into(),
-        ]);
+        let f = Flags::parse(&["--budget".into(), "5".into(), "--include-observed".into()]);
         let out = targets(INPUT, &f).unwrap();
         assert!(out.contains("2001:db8::1\n"), "{out}");
     }

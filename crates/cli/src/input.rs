@@ -25,11 +25,30 @@ pub fn parse_addr_lines(text: &str) -> (Vec<Addr>, usize) {
     (addrs, bad)
 }
 
+/// What `parse_weighted_lines` rejected or repaired, by cause.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WeightedDiagnostics {
+    /// Lines dropped because the address did not parse.
+    pub bad_addrs: usize,
+    /// Lines whose hits column was present but unparseable; the entry
+    /// was kept with weight 1 rather than silently trusted.
+    pub bad_weights: usize,
+}
+
+impl WeightedDiagnostics {
+    /// Total problem lines.
+    pub fn total(&self) -> usize {
+        self.bad_addrs + self.bad_weights
+    }
+}
+
 /// Parses `address<ws>hits` per line into weighted entries; lines with
-/// no hits column default to weight 1.
-pub fn parse_weighted_lines(text: &str) -> (Vec<(Addr, u64)>, usize) {
+/// no hits column default to weight 1. A *present but unparseable* hits
+/// column (`2001:db8::1 banana`) also defaults to 1 but is counted in
+/// [`WeightedDiagnostics::bad_weights`] so callers can surface it.
+pub fn parse_weighted_lines(text: &str) -> (Vec<(Addr, u64)>, WeightedDiagnostics) {
     let mut out = Vec::new();
-    let mut bad = 0usize;
+    let mut diag = WeightedDiagnostics::default();
     for line in text.lines() {
         let t = line.trim();
         if t.is_empty() || t.starts_with('#') {
@@ -38,16 +57,19 @@ pub fn parse_weighted_lines(text: &str) -> (Vec<(Addr, u64)>, usize) {
         let mut cols = t.split_whitespace();
         let Some(addr_s) = cols.next() else { continue };
         let Ok(addr) = addr_s.parse::<Addr>() else {
-            bad += 1;
+            diag.bad_addrs += 1;
             continue;
         };
-        let hits = cols
-            .next()
-            .and_then(|h| h.parse::<u64>().ok())
-            .unwrap_or(1);
+        let hits = match cols.next() {
+            None => 1,
+            Some(h) => h.parse::<u64>().unwrap_or_else(|_| {
+                diag.bad_weights += 1;
+                1
+            }),
+        };
         out.push((addr, hits));
     }
-    (out, bad)
+    (out, diag)
 }
 
 /// Parses addresses into a set, failing when nothing parses.
@@ -69,10 +91,24 @@ mod tests {
         let (addrs, bad) = parse_addr_lines(text);
         assert_eq!(addrs.len(), 2);
         assert_eq!(bad, 1);
-        let (weighted, badw) = parse_weighted_lines(text);
-        assert_eq!(badw, 1);
+        let (weighted, diag) = parse_weighted_lines(text);
+        assert_eq!(diag.bad_addrs, 1);
+        assert_eq!(diag.bad_weights, 0);
         assert_eq!(weighted[0], ("2001:db8::1".parse().unwrap(), 1));
         assert_eq!(weighted[1], ("2001:db8::2".parse().unwrap(), 42));
+    }
+
+    #[test]
+    fn malformed_hits_column_is_counted_not_silent() {
+        let text = "2001:db8::1 banana\n2001:db8::2 42\n2001:db8::3\n";
+        let (weighted, diag) = parse_weighted_lines(text);
+        assert_eq!(diag.bad_addrs, 0);
+        assert_eq!(diag.bad_weights, 1, "present-but-bad hits must be reported");
+        assert_eq!(diag.total(), 1);
+        // The entry is kept with the conservative default weight.
+        assert_eq!(weighted[0], ("2001:db8::1".parse().unwrap(), 1));
+        assert_eq!(weighted[1], ("2001:db8::2".parse().unwrap(), 42));
+        assert_eq!(weighted[2], ("2001:db8::3".parse().unwrap(), 1));
     }
 
     #[test]

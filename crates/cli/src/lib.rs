@@ -14,6 +14,8 @@
 //! * `ptr`       — `ip6.arpa` pointer names, both directions
 //! * `profile`   — aguri-style traffic profile from `addr hits` lines
 //! * `synth`     — emit a synthetic day log for piping into the above
+//! * `census`    — fault-tolerant streaming pipeline over day-log files:
+//!   ingest health report, Table 1, gap-aware stability
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,15 +51,23 @@ pub struct Flags {
 }
 
 impl Flags {
-    /// Parses an argument list. A token starting with `--` consumes the
-    /// next token as its value unless that token also starts with `--`
-    /// or is absent, in which case it is a switch.
+    /// Parses an argument list. Both `--key value` and `--key=value` are
+    /// accepted. In the two-token form, `--key` consumes the next token
+    /// as its value unless that token also starts with `--` or is
+    /// absent, in which case it is a switch; the `--key=value` form has
+    /// no such ambiguity, so it is the way to pass a value that itself
+    /// starts with `--`.
     pub fn parse(args: &[String]) -> Flags {
         let mut f = Flags::default();
         let mut i = 0;
         while i < args.len() {
             let a = &args[i];
             if let Some(name) = a.strip_prefix("--") {
+                if let Some((key, value)) = name.split_once('=') {
+                    f.kv.push((key.to_string(), value.to_string()));
+                    i += 1;
+                    continue;
+                }
                 match args.get(i + 1) {
                     Some(v) if !v.starts_with("--") => {
                         f.kv.push((name.to_string(), v.clone()));
@@ -127,5 +137,35 @@ mod tests {
         let f = flags(&["--tsv"]);
         assert!(f.has("tsv"));
         assert_eq!(f.get("tsv"), None);
+    }
+
+    #[test]
+    fn key_equals_value_form() {
+        let f = flags(&["--scale=0.5", "--title=MRA plot", "pos"]);
+        assert_eq!(f.get("scale"), Some("0.5"));
+        assert_eq!(f.get("title"), Some("MRA plot"));
+        assert_eq!(f.positional, vec!["pos"]);
+        assert_eq!(f.get_parsed("scale", 1.0f64).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn equals_form_carries_values_starting_with_dashes() {
+        // `--title --tsv` makes --title a switch; `--title=--tsv` does not.
+        let f = flags(&["--title=--tsv", "--gap-policy=widen"]);
+        assert_eq!(f.get("title"), Some("--tsv"));
+        assert!(!f.switches.iter().any(|s| s == "tsv"));
+        assert_eq!(f.get("gap-policy"), Some("widen"));
+        // Empty value and embedded '=' both survive.
+        let f = flags(&["--note=", "--expr=a=b"]);
+        assert_eq!(f.get("note"), Some(""));
+        assert_eq!(f.get("expr"), Some("a=b"));
+        assert!(f.has("note"), "a valued flag still answers has()");
+    }
+
+    #[test]
+    fn two_token_form_still_treats_dashes_as_switch() {
+        let f = flags(&["--strict", "--dir", "logs"]);
+        assert!(f.has("strict"));
+        assert_eq!(f.get("dir"), Some("logs"));
     }
 }

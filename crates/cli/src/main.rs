@@ -3,7 +3,7 @@
 
 use std::io::Read;
 use v6census_cli::commands::{
-    aggregate, classify, day_from_name, dense, mra, profile, ptr, stability, stable, synth,
+    aggregate, census, classify, day_from_name, dense, mra, profile, ptr, stability, stable, synth,
     targets, DayFile, USAGE,
 };
 use v6census_cli::Flags;
@@ -45,6 +45,7 @@ fn main() {
             }
         }
         "profile" => profile(&read_stdin(), &flags),
+        "census" => census(&flags),
         "synth" => synth(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

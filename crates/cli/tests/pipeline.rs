@@ -64,8 +64,7 @@ fn synth_feeds_every_analysis_command() {
 fn cross_epoch_and_daily_stability_agree_on_direction() {
     // Two epochs of synthetic logs.
     let now = addrs_only(&synth(&flags(&["--scale", "0.005", "--day", "2015-03-17"])).unwrap());
-    let before =
-        addrs_only(&synth(&flags(&["--scale", "0.005", "--day", "2014-09-17"])).unwrap());
+    let before = addrs_only(&synth(&flags(&["--scale", "0.005", "--day", "2014-09-17"])).unwrap());
     let spectrum = stable(&now, &before, &flags(&[])).unwrap();
     assert!(spectrum.contains("stable boundary"), "{spectrum}");
 
@@ -73,9 +72,7 @@ fn cross_epoch_and_daily_stability_agree_on_direction() {
     let mut days = Vec::new();
     for d in 14..=20 {
         let date = format!("2015-03-{d}");
-        let text = addrs_only(
-            &synth(&flags(&["--scale", "0.005", "--day", &date])).unwrap(),
-        );
+        let text = addrs_only(&synth(&flags(&["--scale", "0.005", "--day", &date])).unwrap());
         days.push(DayFile {
             day: v6census_cli::commands::day_from_name(&format!("{date}.txt")).unwrap(),
             text,

@@ -66,7 +66,13 @@ pub struct ClassifiedAddr {
 
 impl fmt::Display for ClassifiedAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{}] {}", self.addr, self.scheme.label(), self.temporal)?;
+        write!(
+            f,
+            "{} [{}] {}",
+            self.addr,
+            self.scheme.label(),
+            self.temporal
+        )?;
         if let Some((n, p)) = self.dense_in {
             write!(f, " {n}@/{p}-dense")?;
         }

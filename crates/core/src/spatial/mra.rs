@@ -204,9 +204,8 @@ mod tests {
     #[test]
     fn dense_block_signature_not_privacy() {
         // Tightly packed low IIDs: a university department /64 (Fig 5g).
-        let set = AddrSet::from_iter(
-            (0..100u128).map(|i| Addr((0x2001_0db8_0000_0001u128 << 64) | i)),
-        );
+        let set =
+            AddrSet::from_iter((0..100u128).map(|i| Addr((0x2001_0db8_0000_0001u128 << 64) | i)));
         let mra = MraCurve::of(&set);
         assert!(!mra.privacy_signature().matches());
         assert!(

@@ -179,10 +179,7 @@ mod tests {
 
     #[test]
     fn leap_years() {
-        assert_eq!(
-            Day::from_ymd(2016, 2, 29) - Day::from_ymd(2016, 2, 28),
-            1
-        );
+        assert_eq!(Day::from_ymd(2016, 2, 29) - Day::from_ymd(2016, 2, 28), 1);
         assert_eq!(Day::from_ymd(2016, 3, 1) - Day::from_ymd(2016, 2, 29), 1);
         assert!(is_leap(2000));
         assert!(!is_leap(1900));

@@ -175,9 +175,7 @@ mod tests {
         assert!(!stable.is_empty());
         // Every stable prefix covers at least one current address.
         for p in stable.iter().take(50) {
-            assert!(cur
-                .iter()
-                .any(|a| a.mask(boundary) == p));
+            assert!(cur.iter().any(|a| a.mask(boundary) == p));
         }
         // There are few aggregates relative to addresses (they compress).
         assert!(stable.len() <= cur.len());

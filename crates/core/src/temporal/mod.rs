@@ -8,4 +8,7 @@ pub use day::Day;
 pub use longest_stable::{
     longest_stable_prefixes, spectrum_between, stable_fraction_spectrum, StableSpectrum,
 };
-pub use stability::{DailyObservations, EpochStability, StabilityParams, WeeklyStability};
+pub use stability::{
+    DailyObservations, EpochStability, GapPolicy, StabilityParams, StabilityVerdict,
+    VerdictQuality, WeeklyStability,
+};

@@ -78,9 +78,74 @@ impl StabilityParams {
 /// The same engine classifies full addresses and /64s — record /64-mapped
 /// sets (via [`AddrSet::map_prefix`]) in a second store, or use
 /// [`DailyObservations::prefix_view`].
+///
+/// A day is **covered** when it was recorded at all — possibly with an
+/// empty set ("observed inactive"). A day never recorded is a **gap**
+/// ("not ingested"), which is a different thing: an address absent on a
+/// covered day was provably quiet; an address absent on a gap day was
+/// simply not looked at. The gap-aware classifier entry point
+/// [`DailyObservations::stable_on_gapped`] keeps the two apart.
 #[derive(Clone, Debug, Default)]
 pub struct DailyObservations {
     days: BTreeMap<Day, AddrSet>,
+}
+
+/// How the classifier treats days that were never ingested inside the
+/// assessment window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GapPolicy {
+    /// Legacy semantics: a gap day is treated as if every address were
+    /// inactive on it. The verdict is always reported [`VerdictQuality::Complete`]
+    /// because the caller explicitly opted out of gap accounting.
+    AssumeInactive,
+    /// Widens the window by one day per gap day on each side (capped at
+    /// `max_extra` per side), recovering the witness opportunities the
+    /// gaps removed.
+    Widen {
+        /// Maximum extra reach added to either side of the window.
+        max_extra: u32,
+    },
+    /// Leaves the window alone but downgrades the verdict to
+    /// [`VerdictQuality::Unknown`] when gaps intersect it — a "not
+    /// stable" outcome cannot be trusted if witness days are missing.
+    Flag,
+}
+
+/// How trustworthy a gap-aware stability verdict is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerdictQuality {
+    /// Every day of the assessment window was covered (or the caller
+    /// chose [`GapPolicy::AssumeInactive`]).
+    Complete,
+    /// The window was widened to compensate for gap days.
+    Widened {
+        /// Extra backward reach applied, in days.
+        back_extra: u32,
+        /// Extra forward reach applied, in days.
+        fwd_extra: u32,
+    },
+    /// Gap days intersect the window (or the reference day itself was
+    /// never ingested); absence of a stability witness proves nothing.
+    Unknown {
+        /// The uncovered days, ascending.
+        missing: Vec<Day>,
+    },
+}
+
+impl VerdictQuality {
+    /// True when a "not stable" outcome can be taken at face value.
+    pub fn is_conclusive(&self) -> bool {
+        !matches!(self, VerdictQuality::Unknown { .. })
+    }
+}
+
+/// The outcome of [`DailyObservations::stable_on_gapped`].
+#[derive(Clone, Debug)]
+pub struct StabilityVerdict {
+    /// Addresses assessed nd-stable on the reference day.
+    pub stable: AddrSet,
+    /// How trustworthy the assessment is given ingestion gaps.
+    pub quality: VerdictQuality,
 }
 
 /// The outcome of a weekly stability assessment (Table 2c/2d): for each of
@@ -162,6 +227,70 @@ impl DailyObservations {
                 .iter()
                 .map(|(&d, set)| (d, set.map_prefix(len)))
                 .collect(),
+        }
+    }
+
+    /// True when `day` was recorded at all (even with an empty set) —
+    /// the "observed inactive" versus "not ingested" distinction.
+    pub fn is_covered(&self, day: Day) -> bool {
+        self.days.contains_key(&day)
+    }
+
+    /// The uncovered days within `first..=last`, ascending.
+    pub fn gaps_in(&self, first: Day, last: Day) -> Vec<Day> {
+        first
+            .range_inclusive(last)
+            .filter(|d| !self.is_covered(*d))
+            .collect()
+    }
+
+    /// Gap-aware stability assessment: like
+    /// [`DailyObservations::stable_on`], but days missing from the
+    /// ingestion are accounted for per `policy` instead of being silently
+    /// read as "inactive everywhere".
+    pub fn stable_on_gapped(
+        &self,
+        reference: Day,
+        params: &StabilityParams,
+        policy: GapPolicy,
+    ) -> StabilityVerdict {
+        let missing = self.gaps_in(
+            reference - params.back as i32,
+            reference + params.fwd as i32,
+        );
+        if missing.is_empty() || policy == GapPolicy::AssumeInactive {
+            return StabilityVerdict {
+                stable: self.stable_on(reference, params),
+                quality: VerdictQuality::Complete,
+            };
+        }
+        // No amount of widening recovers an unobserved reference day.
+        if !self.is_covered(reference) {
+            return StabilityVerdict {
+                stable: AddrSet::new(),
+                quality: VerdictQuality::Unknown { missing },
+            };
+        }
+        match policy {
+            GapPolicy::AssumeInactive => unreachable!("handled above"),
+            GapPolicy::Flag => StabilityVerdict {
+                stable: self.stable_on(reference, params),
+                quality: VerdictQuality::Unknown { missing },
+            },
+            GapPolicy::Widen { max_extra } => {
+                let back_extra =
+                    (missing.iter().filter(|&&d| d < reference).count() as u32).min(max_extra);
+                let fwd_extra =
+                    (missing.iter().filter(|&&d| d > reference).count() as u32).min(max_extra);
+                let widened = params.with_window(params.back + back_extra, params.fwd + fwd_extra);
+                StabilityVerdict {
+                    stable: self.stable_on(reference, &widened),
+                    quality: VerdictQuality::Widened {
+                        back_extra,
+                        fwd_extra,
+                    },
+                }
+            }
         }
     }
 
@@ -339,7 +468,9 @@ mod tests {
     #[test]
     fn unobserved_reference_day_is_empty() {
         let obs = DailyObservations::new();
-        assert!(obs.stable_on(day(17), &StabilityParams::three_day()).is_empty());
+        assert!(obs
+            .stable_on(day(17), &StabilityParams::three_day())
+            .is_empty());
         assert!(obs.on(day(17)).is_empty());
     }
 
@@ -423,6 +554,114 @@ mod tests {
         assert_eq!(obs.on(day(17)).len(), 2);
         assert_eq!(obs.day_count(), 1);
         assert_eq!(obs.days().collect::<Vec<_>>(), vec![day(17)]);
+    }
+
+    #[test]
+    fn coverage_distinguishes_inactive_from_missing() {
+        let mut obs = DailyObservations::new();
+        obs.record(day(17), set(&["2001:db8::1"]));
+        obs.record(day(18), AddrSet::new()); // observed, nobody active
+        assert!(obs.is_covered(day(17)));
+        assert!(obs.is_covered(day(18)), "empty day is still covered");
+        assert!(!obs.is_covered(day(19)), "never-ingested day is a gap");
+        assert_eq!(obs.gaps_in(day(17), day(20)), vec![day(19), day(20)]);
+    }
+
+    #[test]
+    fn gapped_verdict_complete_when_window_covered() {
+        let mut obs = DailyObservations::new();
+        for d in 10..=24u8 {
+            obs.record(day(d), set(&["2001:db8::1"]));
+        }
+        let v = obs.stable_on_gapped(day(17), &StabilityParams::three_day(), GapPolicy::Flag);
+        assert_eq!(v.quality, VerdictQuality::Complete);
+        assert_eq!(v.stable.len(), 1);
+        assert!(v.quality.is_conclusive());
+    }
+
+    #[test]
+    fn flag_policy_downgrades_gapped_windows() {
+        let mut obs = DailyObservations::new();
+        obs.record(day(17), set(&["2001:db8::1"]));
+        obs.record(day(18), set(&["2001:db8::1"]));
+        // Days 10..=16 and 19..=24 never ingested.
+        let v = obs.stable_on_gapped(day(17), &StabilityParams::three_day(), GapPolicy::Flag);
+        match &v.quality {
+            VerdictQuality::Unknown { missing } => {
+                assert_eq!(missing.len(), 13);
+                assert!(missing.contains(&day(10)) && missing.contains(&day(24)));
+            }
+            q => panic!("expected Unknown, got {q:?}"),
+        }
+        assert!(!v.quality.is_conclusive());
+        // The stable set itself matches the legacy classifier.
+        assert_eq!(
+            v.stable.len(),
+            obs.stable_on(day(17), &StabilityParams::three_day()).len()
+        );
+    }
+
+    #[test]
+    fn widen_policy_recovers_lost_witnesses() {
+        let mut obs = DailyObservations::new();
+        // Witness at distance 9 — outside (-7,+7). Days 13..=16 are gaps,
+        // so widening by 4 restores reach to the day-8 witness.
+        obs.record(day(8), set(&["2001:db8::1"]));
+        for d in 9..=12u8 {
+            obs.record(day(d), AddrSet::new());
+        }
+        obs.record(day(17), set(&["2001:db8::1"]));
+        for d in 18..=24u8 {
+            obs.record(day(d), AddrSet::new());
+        }
+        let p = StabilityParams::three_day();
+        assert!(
+            obs.stable_on(day(17), &p).is_empty(),
+            "witness out of reach"
+        );
+        let v = obs.stable_on_gapped(day(17), &p, GapPolicy::Widen { max_extra: 7 });
+        assert_eq!(
+            v.quality,
+            VerdictQuality::Widened {
+                back_extra: 4,
+                fwd_extra: 0
+            }
+        );
+        assert_eq!(v.stable.len(), 1, "widened window reaches the witness");
+        // The cap is honoured: back reach 7+1 = 8 stops short of day 8.
+        let capped = obs.stable_on_gapped(day(17), &p, GapPolicy::Widen { max_extra: 1 });
+        assert_eq!(
+            capped.quality,
+            VerdictQuality::Widened {
+                back_extra: 1,
+                fwd_extra: 0
+            }
+        );
+        assert!(capped.stable.is_empty());
+    }
+
+    #[test]
+    fn uncovered_reference_day_is_unknown() {
+        let mut obs = DailyObservations::new();
+        obs.record(day(10), set(&["2001:db8::1"]));
+        let v = obs.stable_on_gapped(
+            day(17),
+            &StabilityParams::three_day(),
+            GapPolicy::Widen { max_extra: 7 },
+        );
+        assert!(v.stable.is_empty());
+        assert!(matches!(v.quality, VerdictQuality::Unknown { .. }));
+    }
+
+    #[test]
+    fn assume_inactive_matches_legacy() {
+        let mut obs = DailyObservations::new();
+        obs.record(day(17), set(&["2001:db8::1"]));
+        obs.record(day(20), set(&["2001:db8::1"]));
+        let p = StabilityParams::three_day();
+        let v = obs.stable_on_gapped(day(17), &p, GapPolicy::AssumeInactive);
+        assert_eq!(v.quality, VerdictQuality::Complete);
+        assert_eq!(v.stable.len(), obs.stable_on(day(17), &p).len());
     }
 
     #[test]

@@ -56,9 +56,30 @@ const OUIS: [u32; 12] = [
 /// paper's observation that "many mobile devices simultaneously use the
 /// same fixed interface identifier".
 const SHARED_MOBILE_IIDS: [u64; 24] = [
-    0x1, 0x2, 0x3, 0x4, 0x5, 0x64, 0x65, 0x100, 0x101, 0x1001, 0x1002, 0x2001,
-    0x0a00_0001, 0x0a00_0002, 0x1010_1010, 0xc0ff_ee01, 0xbeef_0001, 0xdead_0001,
-    0x1234_5678, 0x0bad_cafe, 0x0000_abcd, 0x0000_ef01, 0x0000_1111, 0x0000_2222,
+    0x1,
+    0x2,
+    0x3,
+    0x4,
+    0x5,
+    0x64,
+    0x65,
+    0x100,
+    0x101,
+    0x1001,
+    0x1002,
+    0x2001,
+    0x0a00_0001,
+    0x0a00_0002,
+    0x1010_1010,
+    0xc0ff_ee01,
+    0xbeef_0001,
+    0xdead_0001,
+    0x1234_5678,
+    0x0bad_cafe,
+    0x0000_abcd,
+    0x0000_ef01,
+    0x0000_1111,
+    0x0000_2222,
 ];
 
 /// Clears the RFC 4941 "u" bit (address bit 70 ⇒ IID bit 57).
@@ -496,7 +517,8 @@ fn emit_mobile(
                 TrueKind::Privacy { rotation_days: 1 },
             )
         };
-        let assocs = 1 + ent.chance(b"mas2", &[a, slot, occ, day.0 as u64], p.p_second_assoc) as u64;
+        let assocs =
+            1 + ent.chance(b"mas2", &[a, slot, occ, day.0 as u64], p.p_second_assoc) as u64;
         for assoc in 0..assocs {
             // Each association draws a /64 from the carrier's pools —
             // least-recently-used in reality, uniform here; either way
@@ -734,13 +756,7 @@ pub(crate) fn dense_dept_iid(h: u64) -> u64 {
     (pool << 48) | (1 + h / 3)
 }
 
-fn emit_dense_department(
-    ent: &Entropy,
-    asn: u32,
-    base_high: u64,
-    day: Day,
-    out: &mut Vec<RawObs>,
-) {
+fn emit_dense_department(ent: &Entropy, asn: u32, base_high: u64, day: Day, out: &mut Vec<RawObs>) {
     let a = asn as u64;
     let net_high = dense_dept_net_high(base_high);
     for h in 0..DENSE_DEPT_HOSTS {
@@ -968,9 +984,9 @@ mod tests {
         let w = world();
         let d = epochs::mar2015();
         let has_dup = |asn: u32| {
-            emit_network(&w, asn, d).iter().any(|o| {
-                matches!(o.kind, TrueKind::Eui64 { mac } if mac == Mac::PAPER_DUPLICATE)
-            })
+            emit_network(&w, asn, d)
+                .iter()
+                .any(|o| matches!(o.kind, TrueKind::Eui64 { mac } if mac == Mac::PAPER_DUPLICATE))
         };
         assert!(has_dup(asns::MOBILE_A), "carrier A should show the anomaly");
         assert!(!has_dup(asns::MOBILE_B));

@@ -1,0 +1,401 @@
+//! Deterministic fault injection over serialized day logs.
+//!
+//! The robustness of the ingestion pipeline cannot be argued from clean
+//! synthetic data; it has to be exercised against the ways real log
+//! collection fails: corrupted lines, files cut short by a dying writer,
+//! the same day delivered twice, headers that disagree with file names,
+//! and days that never arrive. [`FaultInjector`] produces exactly those
+//! failures, seeded — every fault site is a pure function of
+//! `(seed, day)`, so a failing ingestion test reproduces bit-for-bit.
+//!
+//! The canonical on-disk format is defined by [`DayLog::to_text`]:
+//!
+//! ```text
+//! # synthetic day 2015-03-17: 1234 unique client addrs
+//! # addr\thits\ttrue_kind
+//! 2001:db8::1\t17\tcpe
+//! ...
+//! # end 1234 56789
+//! ```
+//!
+//! The trailer records the entry count and total hits, which is what
+//! lets a reader *prove* truncation instead of silently accepting a
+//! partial day.
+
+use crate::loggen::DayLog;
+use crate::rng::Entropy;
+use crate::world::World;
+use std::fmt;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use v6census_core::temporal::Day;
+
+impl DayLog {
+    /// Serializes the log to the canonical day-log text format, with the
+    /// `# end <entries> <hits>` integrity trailer.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "# synthetic day {}: {} unique client addrs\n",
+            self.day,
+            self.len()
+        );
+        let _ = writeln!(out, "# addr\thits\ttrue_kind");
+        let mut hits = 0u64;
+        for e in &self.entries {
+            hits += e.hits;
+            let _ = writeln!(out, "{}\t{}\t{}", e.addr, e.hits, e.kind.label());
+        }
+        let _ = writeln!(out, "# end {} {hits}", self.len());
+        out
+    }
+}
+
+/// One kind of injected failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Garbles `count` data lines (unparseable address or hits column).
+    CorruptLines {
+        /// How many data lines to damage.
+        count: usize,
+    },
+    /// Cuts the file mid-line at roughly `keep_pct` percent of its data,
+    /// dropping the integrity trailer — a writer that died mid-flush.
+    Truncate {
+        /// Percentage (0–100) of data lines kept before the cut.
+        keep_pct: u8,
+    },
+    /// Delivers the same day twice (a second file with a `.dup` name).
+    DuplicateDay,
+    /// Rewrites the header date by `offset` days so it disagrees with
+    /// the file name — a mislabeled delivery.
+    ShiftHeaderDay {
+        /// Days added to the header date.
+        offset: i32,
+    },
+    /// The day's file is never written.
+    DropDay,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::CorruptLines { count } => write!(f, "corrupt-lines({count})"),
+            Fault::Truncate { keep_pct } => write!(f, "truncate({keep_pct}%)"),
+            Fault::DuplicateDay => write!(f, "duplicate-day"),
+            Fault::ShiftHeaderDay { offset } => write!(f, "shift-header-day({offset:+})"),
+            Fault::DropDay => write!(f, "drop-day"),
+        }
+    }
+}
+
+/// The faults to inject, by day. Days without an entry are written clean.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSpec {
+    /// `(day, fault)` pairs; multiple faults on one day apply in order.
+    pub faults: Vec<(Day, Fault)>,
+}
+
+impl FaultSpec {
+    /// The faults scheduled for `day`, in declaration order.
+    pub fn for_day(&self, day: Day) -> impl Iterator<Item = &Fault> {
+        self.faults
+            .iter()
+            .filter(move |(d, _)| *d == day)
+            .map(|(_, f)| f)
+    }
+}
+
+/// A record of one fault as actually applied.
+#[derive(Clone, Debug)]
+pub struct AppliedFault {
+    /// The day the fault targeted.
+    pub day: Day,
+    /// The fault.
+    pub fault: Fault,
+    /// The file the fault landed in (`None` for [`Fault::DropDay`]).
+    pub path: Option<PathBuf>,
+}
+
+/// The ground-truth manifest of everything [`FaultInjector::write_day_files`]
+/// did — what a robustness test asserts the ingest report against.
+#[derive(Clone, Debug, Default)]
+pub struct FaultManifest {
+    /// Every applied fault, in day order.
+    pub applied: Vec<AppliedFault>,
+}
+
+impl FaultManifest {
+    /// The applied faults for one day.
+    pub fn for_day(&self, day: Day) -> Vec<&AppliedFault> {
+        self.applied.iter().filter(|a| a.day == day).collect()
+    }
+
+    /// A human-readable summary, one line per fault.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for a in &self.applied {
+            let _ = writeln!(out, "{}\t{}", a.day, a.fault);
+        }
+        out
+    }
+}
+
+/// Seeded fault injector over serialized day logs.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultInjector {
+    ent: Entropy,
+}
+
+/// The file name for a day's log: `YYYY-MM-DD.log`.
+pub fn day_file_name(day: Day) -> String {
+    format!("{day}.log")
+}
+
+impl FaultInjector {
+    /// Creates an injector; all fault sites derive from `seed`.
+    pub const fn new(seed: u64) -> FaultInjector {
+        FaultInjector {
+            ent: Entropy::new(seed),
+        }
+    }
+
+    /// Applies one fault to a serialized day log. Returns `None` for
+    /// [`Fault::DropDay`] (the file must not be written) and for
+    /// [`Fault::DuplicateDay`] leaves the text unchanged (duplication is
+    /// a write-time fault, handled by [`FaultInjector::write_day_files`]).
+    pub fn apply(&self, day: Day, text: &str, fault: &Fault) -> Option<String> {
+        let ids = [day.0 as u64];
+        match *fault {
+            Fault::DropDay => None,
+            Fault::DuplicateDay => Some(text.to_string()),
+            Fault::CorruptLines { count } => {
+                let mut lines: Vec<String> = text.lines().map(String::from).collect();
+                let data: Vec<usize> = lines
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| !l.starts_with('#') && !l.is_empty())
+                    .map(|(i, _)| i)
+                    .collect();
+                if data.is_empty() {
+                    return Some(text.to_string());
+                }
+                for k in 0..count {
+                    let victim = data
+                        [(self.ent.u64(b"flct", &[ids[0], k as u64]) % data.len() as u64) as usize];
+                    // Alternate between an unparseable address and an
+                    // unparseable hits column, so both error paths fire.
+                    lines[victim] = if k % 2 == 0 {
+                        format!("zz:not:an:addr:{k}\t7\tcorrupt")
+                    } else {
+                        let addr = lines[victim].split('\t').next().unwrap_or("::1");
+                        format!("{addr}\tbanana\tcorrupt")
+                    };
+                }
+                Some(lines.join("\n") + "\n")
+            }
+            Fault::Truncate { keep_pct } => {
+                let lines: Vec<&str> = text.lines().collect();
+                // Header lines stay; keep ~keep_pct% of data lines and
+                // cut the last survivor mid-line (no trailing newline,
+                // no trailer) — the signature of a killed writer.
+                let header: Vec<&str> = lines
+                    .iter()
+                    .take_while(|l| l.starts_with('#'))
+                    .copied()
+                    .collect();
+                let data: Vec<&str> = lines[header.len()..]
+                    .iter()
+                    .filter(|l| !l.starts_with('#'))
+                    .copied()
+                    .collect();
+                let keep = (data.len() * keep_pct.min(100) as usize / 100).max(1);
+                let mut out = header.join("\n") + "\n";
+                for l in &data[..keep.saturating_sub(1)] {
+                    out.push_str(l);
+                    out.push('\n');
+                }
+                if let Some(last) = data.get(keep.saturating_sub(1)) {
+                    let cut =
+                        1 + (self.ent.u64(b"fltr", &ids) % last.len().max(2) as u64 / 2) as usize;
+                    out.push_str(&last[..cut.min(last.len())]);
+                }
+                Some(out)
+            }
+            Fault::ShiftHeaderDay { offset } => {
+                let shifted = day + offset;
+                let mut out = String::with_capacity(text.len());
+                for (i, line) in text.lines().enumerate() {
+                    if i == 0 {
+                        out.push_str(&line.replace(&day.to_string(), &shifted.to_string()));
+                    } else {
+                        out.push_str(line);
+                    }
+                    out.push('\n');
+                }
+                Some(out)
+            }
+        }
+    }
+
+    /// Generates and writes day-log files for `first..=last` under `dir`,
+    /// applying the faults in `spec`. Returns the manifest of applied
+    /// faults. Clean days serialize via [`DayLog::to_text`].
+    pub fn write_day_files(
+        &self,
+        world: &World,
+        first: Day,
+        last: Day,
+        dir: &Path,
+        spec: &FaultSpec,
+    ) -> io::Result<FaultManifest> {
+        std::fs::create_dir_all(dir)?;
+        let mut manifest = FaultManifest::default();
+        for day in first.range_inclusive(last) {
+            let mut text = Some(world.day_log(day).to_text());
+            let mut duplicate = false;
+            for fault in spec.for_day(day) {
+                if *fault == Fault::DuplicateDay {
+                    duplicate = true;
+                }
+                let next = match &text {
+                    Some(t) => self.apply(day, t, fault),
+                    None => None,
+                };
+                manifest.applied.push(AppliedFault {
+                    day,
+                    fault: *fault,
+                    path: next.is_some().then(|| dir.join(day_file_name(day))),
+                });
+                text = next;
+            }
+            if let Some(t) = text {
+                std::fs::write(dir.join(day_file_name(day)), &t)?;
+                if duplicate {
+                    std::fs::write(dir.join(format!("{day}.dup.log")), &t)?;
+                }
+            }
+        }
+        Ok(manifest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{epochs, WorldConfig};
+
+    fn log() -> DayLog {
+        World::standard(WorldConfig {
+            seed: 3,
+            scale: 0.002,
+        })
+        .day_log(epochs::mar2015())
+    }
+
+    #[test]
+    fn serialization_has_header_and_trailer() {
+        let l = log();
+        let text = l.to_text();
+        assert!(text.starts_with(&format!("# synthetic day {}: {}", l.day, l.len())));
+        let last = text.lines().last().unwrap();
+        let hits: u64 = l.entries.iter().map(|e| e.hits).sum();
+        assert_eq!(last, format!("# end {} {hits}", l.len()));
+        let data = text.lines().filter(|l| !l.starts_with('#')).count();
+        assert_eq!(data, l.len());
+    }
+
+    #[test]
+    fn corrupt_lines_damages_exactly_the_budget() {
+        let l = log();
+        let inj = FaultInjector::new(9);
+        let out = inj
+            .apply(l.day, &l.to_text(), &Fault::CorruptLines { count: 5 })
+            .unwrap();
+        let bad = out
+            .lines()
+            .filter(|line| !line.starts_with('#'))
+            .filter(|line| {
+                let mut cols = line.split('\t');
+                let addr_bad = cols
+                    .next()
+                    .map(|a| a.parse::<v6census_addr::Addr>().is_err())
+                    .unwrap_or(true);
+                let hits_bad = cols
+                    .next()
+                    .map(|h| h.parse::<u64>().is_err())
+                    .unwrap_or(true);
+                addr_bad || hits_bad
+            })
+            .count();
+        assert!((1..=5).contains(&bad), "{bad} damaged lines");
+        // Determinism: same seed, same damage.
+        let again = inj
+            .apply(l.day, &l.to_text(), &Fault::CorruptLines { count: 5 })
+            .unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn truncate_drops_trailer_and_cuts_midline() {
+        let l = log();
+        let inj = FaultInjector::new(9);
+        let out = inj
+            .apply(l.day, &l.to_text(), &Fault::Truncate { keep_pct: 50 })
+            .unwrap();
+        assert!(!out.contains("# end"), "trailer must be gone");
+        assert!(!out.ends_with('\n'), "must cut mid-line");
+        let kept = out.lines().filter(|l| !l.starts_with('#')).count();
+        assert!(kept < l.len(), "{kept} of {}", l.len());
+    }
+
+    #[test]
+    fn shift_header_day_rewrites_only_the_header() {
+        let l = log();
+        let inj = FaultInjector::new(9);
+        let out = inj
+            .apply(l.day, &l.to_text(), &Fault::ShiftHeaderDay { offset: -1 })
+            .unwrap();
+        let header = out.lines().next().unwrap();
+        assert!(header.contains(&(l.day - 1).to_string()), "{header}");
+        assert_eq!(
+            out.lines().filter(|l| !l.starts_with('#')).count(),
+            l.len(),
+            "data must be intact"
+        );
+    }
+
+    #[test]
+    fn write_day_files_honours_the_spec() {
+        let dir = std::env::temp_dir().join(format!(
+            "v6census-faults-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let w = World::standard(WorldConfig {
+            seed: 3,
+            scale: 0.002,
+        });
+        let d0 = epochs::mar2015();
+        let spec = FaultSpec {
+            faults: vec![
+                (d0 + 1, Fault::DropDay),
+                (d0 + 2, Fault::DuplicateDay),
+                (d0 + 3, Fault::Truncate { keep_pct: 40 }),
+            ],
+        };
+        let manifest = FaultInjector::new(5)
+            .write_day_files(&w, d0, d0 + 4, &dir, &spec)
+            .unwrap();
+        assert_eq!(manifest.applied.len(), 3);
+        assert!(dir.join(day_file_name(d0)).exists());
+        assert!(!dir.join(day_file_name(d0 + 1)).exists(), "dropped");
+        assert!(
+            dir.join(format!("{}.dup.log", d0 + 2)).exists(),
+            "duplicated"
+        );
+        assert!(manifest.summary().contains("drop-day"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod archetype;
+pub mod faults;
 pub mod kinds;
 pub mod loggen;
 pub mod rdns;
@@ -35,6 +36,7 @@ pub mod rng;
 pub mod router;
 pub mod world;
 
+pub use faults::{Fault, FaultInjector, FaultManifest, FaultSpec};
 pub use kinds::TrueKind;
 pub use loggen::{DayLog, LogEntry};
 pub use world::{growth, Network, World, WorldConfig};

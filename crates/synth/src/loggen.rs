@@ -5,7 +5,7 @@
 //! network's archetype emits its subscribers' addresses for the day, the
 //! legacy transition-mechanism populations (6to4, Teredo, ISATAP) are
 //! added, and the result is aggregated by address. Day generation is
-//! parallelized across networks with crossbeam scoped threads; the output
+//! parallelized across networks with `std::thread::scope`; the output
 //! is identical to the sequential computation because every emission is a
 //! pure function of `(seed, entity, day)`.
 
@@ -59,9 +59,8 @@ impl DayLog {
 /// prefixes of densely used IPv4 space. 6to4 embeds these at bits 16–48
 /// (the structure visible in Figure 5d).
 const V4_REGIONS: [u16; 24] = [
-    0x1803, 0x1844, 0x2e20, 0x3244, 0x3e10, 0x4a38, 0x4e60, 0x5276, 0x56a0, 0x5bc4, 0x5f00,
-    0x6310, 0x6d20, 0x44a8, 0x4c40, 0x7b0c, 0x8d54, 0x99c8, 0xa1b0, 0xadd4, 0xb930, 0xbc28,
-    0xc0a0, 0xd8c4,
+    0x1803, 0x1844, 0x2e20, 0x3244, 0x3e10, 0x4a38, 0x4e60, 0x5276, 0x56a0, 0x5bc4, 0x5f00, 0x6310,
+    0x6d20, 0x44a8, 0x4c40, 0x7b0c, 0x8d54, 0x99c8, 0xa1b0, 0xadd4, 0xb930, 0xbc28, 0xc0a0, 0xd8c4,
 ];
 
 fn region_v4(ent: &Entropy, salt: &[u8; 4], ids: &[u64]) -> u32 {
@@ -94,10 +93,10 @@ impl World {
             .min(networks.len().max(1));
         let chunk = networks.len().div_ceil(threads);
 
-        let mut raw: Vec<RawObs> = crossbeam::thread::scope(|scope| {
+        let mut raw: Vec<RawObs> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for part in networks.chunks(chunk) {
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut out = Vec::new();
                     for n in part {
                         n.archetype.emit_day(
@@ -118,8 +117,7 @@ impl World {
                 all.extend(h.join().expect("emission thread panicked"));
             }
             all
-        })
-        .expect("crossbeam scope failed");
+        });
 
         self.emit_6to4(day, &mut raw);
         self.emit_teredo(day, &mut raw);

@@ -56,7 +56,9 @@ impl PtrOracle<'_> {
             let class = iid >> 32;
             let idx = iid & 0xffff_ffff;
             let name = match class {
-                1 if idx <= 0xffff => Some(format!("lo0.r{idx}.pop{}.as{asn}.example.net", idx % 7)),
+                1 if idx <= 0xffff => {
+                    Some(format!("lo0.r{idx}.pop{}.as{asn}.example.net", idx % 7))
+                }
                 2 if idx <= 0xff_ffff => Some(format!(
                     "xe-{}-{}.r{}.pop{}.as{asn}.example.net",
                     idx & 1,

@@ -121,10 +121,7 @@ impl Xoshiro256 {
 
     /// The next `u64`.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -157,7 +154,10 @@ mod tests {
         assert_eq!(e.u64(b"test", &[1, 2]), e.u64(b"test", &[1, 2]));
         assert_ne!(e.u64(b"test", &[1, 2]), e.u64(b"test", &[2, 1]));
         assert_ne!(e.u64(b"tesa", &[1, 2]), e.u64(b"tesb", &[1, 2]));
-        assert_ne!(Entropy::new(1).u64(b"test", &[]), Entropy::new(2).u64(b"test", &[]));
+        assert_ne!(
+            Entropy::new(1).u64(b"test", &[]),
+            Entropy::new(2).u64(b"test", &[])
+        );
     }
 
     #[test]

@@ -297,10 +297,7 @@ mod tests {
         let resp = sim.probe(target);
         assert!(resp.len() >= 5);
         let infra = infra_high((jp.prefixes[0].addr().0 >> 64) as u64);
-        let in_jp = resp
-            .iter()
-            .filter(|r| r.network_bits() == infra)
-            .count();
+        let in_jp = resp.iter().filter(|r| r.network_bits() == infra).count();
         assert!(in_jp >= 3, "expected JP infra hops, got {resp:?}");
     }
 
@@ -311,10 +308,10 @@ mod tests {
         let bb = w.network(asns::US_BROADBAND).unwrap();
         let base = bb.prefixes[0].addr().0;
         // 64 targets in the same /56 vs 64 targets in distinct /56s.
-        let same: Vec<Addr> = (0..64u128).map(|i| Addr(base | (5u128 << 72) | i)).collect();
-        let diverse: Vec<Addr> = (0..64u128)
-            .map(|i| Addr(base | (i << 72) | 1))
+        let same: Vec<Addr> = (0..64u128)
+            .map(|i| Addr(base | (5u128 << 72) | i))
             .collect();
+        let diverse: Vec<Addr> = (0..64u128).map(|i| Addr(base | (i << 72) | 1)).collect();
         let found_same = sim.survey(same.iter().copied()).len();
         let found_diverse = sim.survey(diverse.iter().copied()).len();
         assert!(

@@ -197,10 +197,7 @@ impl World {
                 asn: asns::UNIVERSITY_FIRST + i,
                 name: format!("university {i}"),
                 archetype: Archetype::university(i == 0),
-                prefixes: vec![Prefix::new(
-                    Addr((0x2620_0000u128 | i as u128) << 96),
-                    32,
-                )],
+                prefixes: vec![Prefix::new(Addr((0x2620_0000u128 | i as u128) << 96), 32)],
                 max_subscribers: sc(1_200.0),
                 activation: early + (i as i32 % 200),
             });
@@ -213,10 +210,7 @@ impl World {
                 asn: asns::HOSTING_FIRST + i,
                 name: format!("hosting {i}"),
                 archetype: Archetype::hosting(ent, asns::HOSTING_FIRST + i),
-                prefixes: vec![Prefix::new(
-                    Addr((0x2604_0000u128 | i as u128) << 96),
-                    32,
-                )],
+                prefixes: vec![Prefix::new(Addr((0x2604_0000u128 | i as u128) << 96), 32)],
                 max_subscribers: sc(24.0).max(6),
                 activation: early + (i as i32 % 300),
             });
@@ -251,11 +245,7 @@ impl World {
             });
         }
 
-        World {
-            cfg,
-            ent,
-            networks,
-        }
+        World { cfg, ent, networks }
     }
 
     /// The configuration.

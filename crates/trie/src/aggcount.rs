@@ -232,12 +232,7 @@ mod tests {
 
     #[test]
     fn populations_run_lengths() {
-        let s = set(&[
-            "2001:db8::1",
-            "2001:db8::2",
-            "2001:db8:0:1::1",
-            "2400::1",
-        ]);
+        let s = set(&["2001:db8::1", "2001:db8::2", "2001:db8:0:1::1", "2400::1"]);
         let mut pops = populations(&s, 64);
         pops.sort_unstable();
         assert_eq!(pops, vec![1, 1, 2]);

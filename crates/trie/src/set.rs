@@ -36,7 +36,10 @@ impl AddrSet {
     /// # Panics
     /// Panics (in debug builds) if the input is not strictly increasing.
     pub fn from_sorted(keys: Vec<u128>) -> AddrSet {
-        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys not strictly sorted");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys not strictly sorted"
+        );
         AddrSet { keys }
     }
 
@@ -149,7 +152,11 @@ impl AddrSet {
             return self.clone();
         }
         let mut out: Vec<u128> = Vec::with_capacity(self.keys.len());
-        let mask = if len == 0 { 0 } else { u128::MAX << (128 - len as u32) };
+        let mask = if len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - len as u32)
+        };
         let mut last: Option<u128> = None;
         for &k in &self.keys {
             let m = k & mask;
@@ -214,11 +221,7 @@ mod tests {
 
     #[test]
     fn map_prefix_collapses_to_64s() {
-        let s = set(&[
-            "2001:db8:0:1::1",
-            "2001:db8:0:1::2",
-            "2001:db8:0:2::1",
-        ]);
+        let s = set(&["2001:db8:0:1::1", "2001:db8:0:1::2", "2001:db8:0:2::1"]);
         let p64 = s.map_prefix(64);
         assert_eq!(p64.len(), 2);
         assert_eq!(s.map_prefix(128), s);

@@ -312,7 +312,12 @@ impl RadixTree {
         }
 
         fn count_nodes(n: &Node) -> usize {
-            1 + n.children.iter().flatten().map(|c| count_nodes(c)).sum::<usize>()
+            1 + n
+                .children
+                .iter()
+                .flatten()
+                .map(|c| count_nodes(c))
+                .sum::<usize>()
         }
 
         let mut removed = 0usize;
@@ -386,9 +391,7 @@ impl RadixTree {
                 }
                 // Splice pass-through nodes (count 0, single child).
                 if node.count == 0 {
-                    let kids: Vec<usize> = (0..2)
-                        .filter(|&i| node.children[i].is_some())
-                        .collect();
+                    let kids: Vec<usize> = (0..2).filter(|&i| node.children[i].is_some()).collect();
                     if kids.len() == 1 {
                         let only = node.children[kids[0]].take().expect("checked");
                         *slot = Some(only);
@@ -426,11 +429,7 @@ impl RadixTree {
 
         // Returns the count that could not be attributed to a kept
         // aggregate in this subtree (flows to the caller).
-        fn walk(
-            node: &Node,
-            threshold: u64,
-            out: &mut Vec<(Prefix, u64)>,
-        ) -> u64 {
+        fn walk(node: &Node, threshold: u64, out: &mut Vec<(Prefix, u64)>) -> u64 {
             let mut residual = node.count;
             for child in node.children.iter().flatten() {
                 residual += walk(child, threshold, out);
@@ -487,10 +486,7 @@ pub struct PrefixMap<T> {
 impl<T> PrefixMap<T> {
     /// Creates an empty map.
     pub fn new() -> PrefixMap<T> {
-        PrefixMap {
-            root: None,
-            len: 0,
-        }
+        PrefixMap { root: None, len: 0 }
     }
 
     /// Number of prefixes with values.
@@ -551,9 +547,10 @@ impl<T> PrefixMap<T> {
                 slot
             }
             Action::Found => slot,
-            Action::Descend(bit) => {
-                Self::slot_for(&mut slot.as_mut().expect("descend needs node").children[bit], p)
-            }
+            Action::Descend(bit) => Self::slot_for(
+                &mut slot.as_mut().expect("descend needs node").children[bit],
+                p,
+            ),
             Action::SpliceAbove => {
                 let old = slot.take().expect("splice needs node");
                 let bit = old.prefix.addr().bit(p.len() as usize) as usize;

@@ -1,100 +1,166 @@
 //! Property-based tests for the trie substrate: the Patricia trie, the
 //! sort-based fast paths, and their equivalence (a DESIGN.md ablation).
+//!
+//! Cases are driven by a deterministic splitmix64 stream (no external
+//! property-testing crate), so the workspace builds offline. Failure
+//! messages carry the case index, which reproduces the input.
 
-use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 use v6census_addr::{Addr, Prefix};
-use v6census_trie::{dense_prefixes_at, populations, AddrSet, AggregateCounts, DensePrefix, PrefixMap, RadixTree};
+use v6census_trie::{
+    dense_prefixes_at, populations, AddrSet, AggregateCounts, DensePrefix, PrefixMap, RadixTree,
+};
 
-/// Clustered address generator: realistic populations share prefixes, so
-/// bias toward a handful of /64-ish bases with small offsets.
-fn clustered_addrs() -> impl Strategy<Value = Vec<Addr>> {
-    let base = prop_oneof![
-        Just(0x2001_0db8_0000_0000u64),
-        Just(0x2001_0db8_0000_0001u64),
-        Just(0x2400_4000_0012_0000u64),
-        Just(0x2600_1400_0abc_0000u64),
-    ];
-    prop::collection::vec(
-        (base, 0u64..0x2_0000).prop_map(|(hi, lo)| Addr(((hi as u128) << 64) | lo as u128)),
-        0..200,
-    )
-}
+const CASES: u64 = 120;
 
-proptest! {
-    /// AddrSet behaves like BTreeSet for membership/size/order.
-    #[test]
-    fn addrset_matches_btreeset(addrs in clustered_addrs(), probe: u64) {
-        let set = AddrSet::from_iter(addrs.iter().copied());
-        let reference: BTreeSet<u128> = addrs.iter().map(|a| a.0).collect();
-        prop_assert_eq!(set.len(), reference.len());
-        let collected: Vec<u128> = set.iter().map(|a| a.0).collect();
-        let expected: Vec<u128> = reference.iter().copied().collect();
-        prop_assert_eq!(collected, expected);
-        let p = Addr((0x2001_0db8u128 << 96) | probe as u128);
-        prop_assert_eq!(set.contains(p), reference.contains(&p.0));
+/// Deterministic case generator: a splitmix64 stream.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x6a09_e667_f3bc_c909)
     }
 
-    /// Set algebra sizes agree with BTreeSet.
-    #[test]
-    fn set_algebra(xs in clustered_addrs(), ys in clustered_addrs()) {
+    fn u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n >= 1);
+        ((self.u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+
+    /// Clustered address generator: realistic populations share prefixes,
+    /// so bias toward a handful of /64-ish bases with small offsets.
+    fn clustered_addrs(&mut self) -> Vec<Addr> {
+        const BASES: [u64; 4] = [
+            0x2001_0db8_0000_0000,
+            0x2001_0db8_0000_0001,
+            0x2400_4000_0012_0000,
+            0x2600_1400_0abc_0000,
+        ];
+        let n = self.below(200) as usize;
+        (0..n)
+            .map(|_| {
+                let hi = BASES[self.below(4) as usize];
+                let lo = self.below(0x2_0000);
+                Addr(((hi as u128) << 64) | lo as u128)
+            })
+            .collect()
+    }
+}
+
+#[test]
+fn addrset_matches_btreeset() {
+    let mut g = Gen::new(41);
+    for case in 0..CASES {
+        let addrs = g.clustered_addrs();
+        let probe_lo = g.u64();
+        let set = AddrSet::from_iter(addrs.iter().copied());
+        let reference: BTreeSet<u128> = addrs.iter().map(|a| a.0).collect();
+        assert_eq!(set.len(), reference.len(), "case {case}");
+        let collected: Vec<u128> = set.iter().map(|a| a.0).collect();
+        let expected: Vec<u128> = reference.iter().copied().collect();
+        assert_eq!(collected, expected, "case {case}");
+        let p = Addr((0x2001_0db8u128 << 96) | probe_lo as u128);
+        assert_eq!(set.contains(p), reference.contains(&p.0), "case {case}");
+    }
+}
+
+#[test]
+fn set_algebra() {
+    let mut g = Gen::new(42);
+    for case in 0..CASES {
+        let xs = g.clustered_addrs();
+        let ys = g.clustered_addrs();
         let a = AddrSet::from_iter(xs.iter().copied());
         let b = AddrSet::from_iter(ys.iter().copied());
         let ra: BTreeSet<u128> = xs.iter().map(|v| v.0).collect();
         let rb: BTreeSet<u128> = ys.iter().map(|v| v.0).collect();
-        prop_assert_eq!(a.intersection_len(&b), ra.intersection(&rb).count());
-        prop_assert_eq!(a.union(&b).len(), ra.union(&rb).count());
-        prop_assert_eq!(a.intersection(&b).len(), ra.intersection(&rb).count());
-        // |A∪B| + |A∩B| = |A| + |B|
-        prop_assert_eq!(
+        assert_eq!(
+            a.intersection_len(&b),
+            ra.intersection(&rb).count(),
+            "case {case}"
+        );
+        assert_eq!(a.union(&b).len(), ra.union(&rb).count(), "case {case}");
+        assert_eq!(
+            a.intersection(&b).len(),
+            ra.intersection(&rb).count(),
+            "case {case}"
+        );
+        assert_eq!(
             a.union(&b).len() + a.intersection_len(&b),
-            a.len() + b.len()
+            a.len() + b.len(),
+            "case {case}: |A∪B| + |A∩B| = |A| + |B|"
         );
     }
+}
 
-    /// map_prefix agrees with masking through a BTreeSet.
-    #[test]
-    fn map_prefix_matches_mask(addrs in clustered_addrs(), len in 0u8..=128) {
+#[test]
+fn map_prefix_matches_mask() {
+    let mut g = Gen::new(43);
+    for case in 0..CASES {
+        let addrs = g.clustered_addrs();
+        let len = g.below(129) as u8;
         let set = AddrSet::from_iter(addrs.iter().copied());
         let mapped = set.map_prefix(len);
         let reference: BTreeSet<u128> = addrs.iter().map(|a| a.mask(len).0).collect();
-        prop_assert_eq!(mapped.len(), reference.len());
+        assert_eq!(mapped.len(), reference.len(), "case {case} len {len}");
         for a in mapped.iter() {
-            prop_assert!(reference.contains(&a.0));
+            assert!(reference.contains(&a.0), "case {case}: {a}");
         }
     }
+}
 
-    /// Aggregate counts: n_0 = 1, n_128 = N, monotone, at most doubling.
-    #[test]
-    fn aggregate_count_laws(addrs in clustered_addrs()) {
-        let set = AddrSet::from_iter(addrs.iter().copied());
-        prop_assume!(!set.is_empty());
+#[test]
+fn aggregate_count_laws() {
+    let mut g = Gen::new(44);
+    for case in 0..CASES {
+        let set = AddrSet::from_iter(g.clustered_addrs());
+        if set.is_empty() {
+            continue;
+        }
         let agg = AggregateCounts::of(&set);
-        prop_assert_eq!(agg.n(0), 1);
-        prop_assert_eq!(agg.n(128), set.len() as u64);
+        assert_eq!(agg.n(0), 1, "case {case}");
+        assert_eq!(agg.n(128), set.len() as u64, "case {case}");
         for p in 0..128u8 {
-            prop_assert!(agg.n(p) <= agg.n(p + 1));
-            prop_assert!(agg.n(p + 1) <= 2 * agg.n(p));
+            assert!(agg.n(p) <= agg.n(p + 1), "case {case} p {p}");
+            assert!(agg.n(p + 1) <= 2 * agg.n(p), "case {case} p {p}");
         }
     }
+}
 
-    /// n_p computed by the adjacency scan equals the count of distinct
-    /// masked values (the sort|cut|uniq definition).
-    #[test]
-    fn aggregate_counts_match_uniq(addrs in clustered_addrs(), p in 0u8..=128) {
-        let set = AddrSet::from_iter(addrs.iter().copied());
-        prop_assume!(!set.is_empty());
+#[test]
+fn aggregate_counts_match_uniq() {
+    let mut g = Gen::new(45);
+    for case in 0..CASES {
+        let set = AddrSet::from_iter(g.clustered_addrs());
+        let p = g.below(129) as u8;
+        if set.is_empty() {
+            continue;
+        }
         let agg = AggregateCounts::of(&set);
         let distinct: BTreeSet<u128> = set.iter().map(|a| a.mask(p).0).collect();
-        prop_assert_eq!(agg.n(p), distinct.len() as u64);
+        assert_eq!(agg.n(p), distinct.len() as u64, "case {case} p {p}");
     }
+}
 
-    /// populations() sums to the set size and matches a map-reduce.
-    #[test]
-    fn populations_match_counting(addrs in clustered_addrs(), p in 0u8..=128) {
-        let set = AddrSet::from_iter(addrs.iter().copied());
+#[test]
+fn populations_match_counting() {
+    let mut g = Gen::new(46);
+    for case in 0..CASES {
+        let set = AddrSet::from_iter(g.clustered_addrs());
+        let p = g.below(129) as u8;
         let pops = populations(&set, p);
-        prop_assert_eq!(pops.iter().sum::<u64>() as usize, set.len());
+        assert_eq!(pops.iter().sum::<u64>() as usize, set.len(), "case {case}");
         let mut reference: BTreeMap<u128, u64> = BTreeMap::new();
         for a in set.iter() {
             *reference.entry(a.mask(p).0).or_default() += 1;
@@ -103,14 +169,17 @@ proptest! {
         let mut got = pops.clone();
         expected.sort_unstable();
         got.sort_unstable();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case} p {p}");
     }
+}
 
-    /// The fixed-length dense classes from the sorted scan equal the
-    /// trie computed with /p-truncated inserts (paper §5.2.3 step 1).
-    #[test]
-    fn dense_sort_equals_trie(addrs in clustered_addrs(), n in 1u64..6, p in 32u8..=128) {
-        let set = AddrSet::from_iter(addrs.iter().copied());
+#[test]
+fn dense_sort_equals_trie() {
+    let mut g = Gen::new(47);
+    for case in 0..CASES {
+        let set = AddrSet::from_iter(g.clustered_addrs());
+        let n = g.range(1, 6);
+        let p = g.range(32, 129) as u8;
         let sorted_path = dense_prefixes_at(&set, n, p);
         let mut tree = RadixTree::new();
         for a in set.iter() {
@@ -122,87 +191,101 @@ proptest! {
             .filter(|&(_, c)| c >= n)
             .map(|(prefix, count)| DensePrefix { prefix, count })
             .collect();
-        prop_assert_eq!(sorted_path, trie_path);
+        assert_eq!(sorted_path, trie_path, "case {case} n {n} p {p}");
     }
+}
 
-    /// General densify: results are non-overlapping, meet the density
-    /// and count requirements, and cover every address that any dense
-    /// /p block covers.
-    #[test]
-    fn densify_laws(addrs in clustered_addrs(), n in 1u64..5, p in 96u8..=124) {
-        let set = AddrSet::from_iter(addrs.iter().copied());
+#[test]
+fn densify_laws() {
+    let mut g = Gen::new(48);
+    for case in 0..CASES {
+        let set = AddrSet::from_iter(g.clustered_addrs());
+        let n = g.range(1, 5);
+        let p = g.range(96, 125) as u8;
         let mut tree = RadixTree::new();
         for a in set.iter() {
             tree.insert_addr(a, 1);
         }
         let dense = tree.densify(n, p);
         for (i, d) in dense.iter().enumerate() {
-            prop_assert!(d.count >= n, "count filter");
-            prop_assert!(d.prefix.len() <= 127);
-            // Density requirement: count ≥ n · 2^(p−len) for len ≤ p.
+            assert!(d.count >= n, "case {case}: count filter");
+            assert!(d.prefix.len() <= 127, "case {case}");
             if d.prefix.len() <= p {
                 let needed = n << (p - d.prefix.len()).min(63);
-                prop_assert!(d.count >= needed, "{:?} under-dense", d);
+                assert!(d.count >= needed, "case {case}: {d:?} under-dense");
             }
             for other in &dense[i + 1..] {
-                prop_assert!(!d.prefix.overlaps(other.prefix), "overlap");
+                assert!(!d.prefix.overlaps(other.prefix), "case {case}: overlap");
             }
         }
-        // Every fixed-length dense block is inside some reported block.
         for fixed in dense_prefixes_at(&set, n, p) {
-            prop_assert!(
+            assert!(
                 dense.iter().any(|d| d.prefix.contains(fixed.prefix)),
-                "missing {:?}",
-                fixed
+                "case {case}: missing {fixed:?}"
             );
         }
     }
+}
 
-    /// Tree totals and per-prefix subtree counts agree with counting.
-    #[test]
-    fn count_within_matches_filter(addrs in clustered_addrs(), len in 0u8..=128, pick: u64) {
-        let set = AddrSet::from_iter(addrs.iter().copied());
-        prop_assume!(!set.is_empty());
+#[test]
+fn count_within_matches_filter() {
+    let mut g = Gen::new(49);
+    for case in 0..CASES {
+        let set = AddrSet::from_iter(g.clustered_addrs());
+        let len = g.below(129) as u8;
+        let pick = g.u64();
+        if set.is_empty() {
+            continue;
+        }
         let mut tree = RadixTree::new();
         for a in set.iter() {
             tree.insert_addr(a, 1);
         }
-        prop_assert_eq!(tree.total(), set.len() as u64);
-        // Probe with the prefix of one of the members.
+        assert_eq!(tree.total(), set.len() as u64, "case {case}");
         let keys = set.keys();
         let member = Addr(keys[(pick % keys.len() as u64) as usize]);
         let probe = Prefix::of(member, len);
         let expected = set.iter().filter(|&a| probe.contains_addr(a)).count() as u64;
-        prop_assert_eq!(tree.count_within(probe), expected);
+        assert_eq!(
+            tree.count_within(probe),
+            expected,
+            "case {case} probe {probe}"
+        );
     }
+}
 
-    /// Aguri aggregation conserves counts and every kept aggregate meets
-    /// the threshold (except the ::/0 remainder).
-    #[test]
-    fn aguri_conserves(addrs in clustered_addrs(), frac in 0.0f64..0.5) {
-        let set = AddrSet::from_iter(addrs.iter().copied());
-        prop_assume!(!set.is_empty());
+#[test]
+fn aguri_conserves() {
+    let mut g = Gen::new(50);
+    for case in 0..CASES {
+        let set = AddrSet::from_iter(g.clustered_addrs());
+        let frac = g.below(500) as f64 / 1000.0;
+        if set.is_empty() {
+            continue;
+        }
         let mut tree = RadixTree::new();
         for a in set.iter() {
             tree.insert_addr(a, 1);
         }
         let agg = tree.aguri_aggregate(frac);
         let total: u64 = agg.iter().map(|&(_, c)| c).sum();
-        prop_assert_eq!(total, set.len() as u64);
+        assert_eq!(total, set.len() as u64, "case {case}");
         let threshold = (frac * set.len() as f64).ceil() as u64;
         for &(prefix, count) in &agg {
             if prefix != Prefix::ALL && threshold > 0 {
-                prop_assert!(count >= threshold, "{prefix} kept at {count}");
+                assert!(count >= threshold, "case {case}: {prefix} kept at {count}");
             }
         }
     }
+}
 
-    /// PrefixMap longest-match agrees with a linear scan.
-    #[test]
-    fn lpm_matches_linear_scan(
-        entries in prop::collection::vec((any::<u64>(), 8u8..=64), 0..40),
-        probe: u64,
-    ) {
+#[test]
+fn lpm_matches_linear_scan() {
+    let mut g = Gen::new(51);
+    for case in 0..CASES {
+        let n = g.below(40) as usize;
+        let entries: Vec<(u64, u8)> = (0..n).map(|_| (g.u64(), g.range(8, 65) as u8)).collect();
+        let probe = g.u64();
         let mut map: PrefixMap<usize> = PrefixMap::new();
         let mut list: Vec<(Prefix, usize)> = Vec::new();
         for (i, (hi, len)) in entries.iter().enumerate() {
@@ -218,15 +301,16 @@ proptest! {
             .filter(|&&(p, _)| p.contains_addr(target))
             .max_by_key(|&&(p, _)| p.len())
             .map(|&(p, v)| (p, v));
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
 }
 
-proptest! {
-    /// Memory-bounded aggregation conserves totals and shrinks node
-    /// counts monotonically.
-    #[test]
-    fn aggregate_to_size_conserves(addrs in clustered_addrs(), budget in 1usize..64) {
+#[test]
+fn aggregate_to_size_conserves() {
+    let mut g = Gen::new(52);
+    for case in 0..CASES {
+        let addrs = g.clustered_addrs();
+        let budget = g.range(1, 64) as usize;
         let mut tree = RadixTree::new();
         for a in &addrs {
             tree.insert_addr(*a, 1);
@@ -234,9 +318,9 @@ proptest! {
         let total = tree.total();
         let before = tree.node_count();
         let removed = tree.aggregate_to_size(budget);
-        prop_assert_eq!(tree.total(), total);
-        prop_assert_eq!(tree.node_count(), before - removed);
+        assert_eq!(tree.total(), total, "case {case}");
+        assert_eq!(tree.node_count(), before - removed, "case {case}");
         let entries_total: u64 = tree.entries().iter().map(|&(_, c)| c).sum();
-        prop_assert_eq!(entries_total, total);
+        assert_eq!(entries_total, total, "case {case}");
     }
 }

@@ -14,7 +14,10 @@ use v6census::prelude::*;
 use v6census::synth::world::{asns, epochs};
 
 fn main() {
-    let world = World::standard(WorldConfig { seed: 3, scale: 0.1 });
+    let world = World::standard(WorldConfig {
+        seed: 3,
+        scale: 0.1,
+    });
     let first = epochs::mar2015();
     println!("ingesting one week starting {first}…");
     let census = Census::run(&world, first, first + 6);
@@ -28,7 +31,9 @@ fn main() {
         ("JP ISP (static /48s)", asns::JP_ISP),
         ("university", asns::UNIVERSITY_FIRST),
     ] {
-        let Some(set) = by_asn.get(&asn) else { continue };
+        let Some(set) = by_asn.get(&asn) else {
+            continue;
+        };
         let mra = MraCurve::of(set);
         println!("\n=== {label} (AS{asn}) — {} weekly addrs ===", set.len());
         println!("  common (BGP-like) prefix: /{}", mra.common_prefix_len());

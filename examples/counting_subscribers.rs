@@ -12,11 +12,14 @@
 
 use v6census::census::{Census, RoutingTable};
 use v6census::prelude::*;
-use v6census::synth::world::{asns, epochs};
 use v6census::synth::world::growth;
+use v6census::synth::world::{asns, epochs};
 
 fn main() {
-    let world = World::standard(WorldConfig { seed: 5, scale: 0.1 });
+    let world = World::standard(WorldConfig {
+        seed: 5,
+        scale: 0.1,
+    });
     let first = epochs::mar2015();
     println!("ingesting one week starting {first}…\n");
     let census = Census::run(&world, first, first + 6);
@@ -37,7 +40,9 @@ fn main() {
         ("US broadband (DHCPv6-PD)", asns::US_BROADBAND),
         ("university 0 (shared /64s)", asns::UNIVERSITY_FIRST),
     ] {
-        let Some(set) = by_asn.get(&asn) else { continue };
+        let Some(set) = by_asn.get(&asn) else {
+            continue;
+        };
         let subs = (world.network(asn).unwrap().max_subscribers as f64 * g) as u64;
         let p64s = set.map_prefix(64).len();
         let ratio = p64s as f64 / subs as f64;
@@ -65,9 +70,7 @@ fn main() {
         println!(
             "\ndense department: {} active hosts behind one /64 ({}) —\n\
              counting /64s under-counts this population {}x.",
-            dept.count,
-            dept.prefix,
-            dept.count
+            dept.count, dept.prefix, dept.count
         );
     }
 }

@@ -62,10 +62,7 @@ fn read_stdin_addrs() -> Option<AddrSet> {
     }
     let mut buf = String::new();
     std::io::stdin().read_to_string(&mut buf).ok()?;
-    let addrs: Vec<Addr> = buf
-        .lines()
-        .filter_map(|l| l.trim().parse().ok())
-        .collect();
+    let addrs: Vec<Addr> = buf.lines().filter_map(|l| l.trim().parse().ok()).collect();
     if addrs.is_empty() {
         None
     } else {

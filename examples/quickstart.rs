@@ -10,7 +10,10 @@ use v6census::prelude::*;
 fn main() {
     // A deterministic world at ~2% of the default population: big enough
     // to show every phenomenon, small enough to run in about a second.
-    let world = World::standard(WorldConfig { seed: 7, scale: 0.05 });
+    let world = World::standard(WorldConfig {
+        seed: 7,
+        scale: 0.05,
+    });
     let reference = Day::from_ymd(2015, 3, 17);
 
     // Ingest the ±7-day window of aggregated CDN logs around the

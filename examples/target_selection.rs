@@ -14,7 +14,10 @@ use v6census::synth::router::ProbeSim;
 use v6census::synth::world::epochs;
 
 fn main() {
-    let world = World::standard(WorldConfig { seed: 11, scale: 0.1 });
+    let world = World::standard(WorldConfig {
+        seed: 11,
+        scale: 0.1,
+    });
     let reference = epochs::mar2015();
     println!("ingesting ±7d window around {reference}…");
     let census = Census::run(&world, reference - 7, reference + 7);

@@ -8,7 +8,10 @@ use v6census::synth::router::ProbeSim;
 use v6census::synth::world::epochs;
 
 fn small_world() -> World {
-    World::standard(WorldConfig { seed: 41, scale: 0.02 })
+    World::standard(WorldConfig {
+        seed: 41,
+        scale: 0.02,
+    })
 }
 
 #[test]
@@ -17,9 +20,7 @@ fn full_pipeline_is_deterministic() {
     let run = || {
         let w = small_world();
         let c = Census::run(&w, d - 2, d + 2);
-        let stable = c
-            .other_daily()
-            .stable_on(d, &StabilityParams::three_day());
+        let stable = c.other_daily().stable_on(d, &StabilityParams::three_day());
         (c.summary(d).unwrap().total(), stable.len())
     };
     assert_eq!(run(), run());
@@ -68,9 +69,7 @@ fn table2_classes_partition_actives() {
     // /64 stability dominates address stability (paper's Table 2
     // structural relationship).
     let t64 = Table2::daily("64s", c.other64_daily(), &specs, params);
-    let frac = |c: &v6census::census::tables::Table2Column| {
-        c.stable as f64 / c.total() as f64
-    };
+    let frac = |c: &v6census::census::tables::Table2Column| c.stable as f64 / c.total() as f64;
     assert!(frac(&t64.columns[0]) > frac(col) * 2.0);
 }
 
@@ -83,8 +82,7 @@ fn table3_rows_are_internally_consistent() {
     let t3 = Table3::compute(&routers);
     for r in &t3.rows {
         assert!(
-            r.covered_addresses >= r.class.n * r.dense_prefixes as u64
-                || r.dense_prefixes == 0,
+            r.covered_addresses >= r.class.n * r.dense_prefixes as u64 || r.dense_prefixes == 0,
             "{}: covered {} below n × prefixes",
             r.class,
             r.covered_addresses

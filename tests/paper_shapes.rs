@@ -24,7 +24,10 @@ fn setup(scale: f64) -> Setup {
 
 #[test]
 fn six_to_four_share_declines_while_counts_grow() {
-    let world = World::standard(WorldConfig { seed: 101, scale: 0.02 });
+    let world = World::standard(WorldConfig {
+        seed: 101,
+        scale: 0.02,
+    });
     let mut shares = Vec::new();
     let mut others = Vec::new();
     for e in [epochs::mar2014(), epochs::sep2014(), epochs::mar2015()] {
@@ -59,12 +62,12 @@ fn stability_orderings_match_table2() {
 
     // Weekly address stability fraction is lower than daily (Table 2c
     // vs 2a) because the weekly union is dominated by ephemeral addrs.
-    let weekly = s
-        .census
-        .other_daily()
-        .stable_over_week(d, &params);
+    let weekly = s.census.other_daily().stable_over_week(d, &params);
     let weekly_frac = weekly.stable.len() as f64 / weekly.active.len() as f64;
-    assert!(weekly_frac < addr_frac, "weekly {weekly_frac:.3} vs daily {addr_frac:.3}");
+    assert!(
+        weekly_frac < addr_frac,
+        "weekly {weekly_frac:.3} vs daily {addr_frac:.3}"
+    );
 }
 
 #[test]
@@ -77,7 +80,11 @@ fn top5_asns_dominate() {
         .epoch_stable(d.range_inclusive(d + 6), d.range_inclusive(d + 6))
         .stable;
     let h = asn_highlights(&s.rt, &s.week, &six);
-    assert!(h.top5_share_64s > 0.6, "top-5 /64 share {:.3}", h.top5_share_64s);
+    assert!(
+        h.top5_share_64s > 0.6,
+        "top-5 /64 share {:.3}",
+        h.top5_share_64s
+    );
     for asn in [asns::MOBILE_A, asns::MOBILE_B] {
         assert!(
             h.top5_asns.contains(&asn),
@@ -94,8 +101,16 @@ fn eu_prefix_shows_privacy_signature_jp_shows_static_structure() {
     let eu = MraCurve::of(&by_asn[&asns::EU_ISP]);
     let jp = MraCurve::of(&by_asn[&asns::JP_ISP]);
     // Both populations are dominated by privacy IIDs in the low 64 bits.
-    assert!(eu.privacy_signature().matches(), "{:?}", eu.privacy_signature());
-    assert!(jp.privacy_signature().matches(), "{:?}", jp.privacy_signature());
+    assert!(
+        eu.privacy_signature().matches(),
+        "{:?}",
+        eu.privacy_signature()
+    );
+    assert!(
+        jp.privacy_signature().matches(),
+        "{:?}",
+        jp.privacy_signature()
+    );
     // JP: the 48-64 segment shows no aggregation (constant subnet 0);
     // EU: that segment carries the rotating NID, so it aggregates a lot.
     let jp_4864 = jp.ratio(48, MraResolution::Segment16);
@@ -113,7 +128,10 @@ fn mobile_carrier_fills_the_44_64_segment() {
     // except the trivial IID sparsity.
     let pool = mob.ratio(48, MraResolution::Segment16);
     assert!(pool > 5.0, "pool segment γ¹⁶ {pool:.1}");
-    assert!(!mob.privacy_signature().matches(), "mobile IIDs are mostly fixed");
+    assert!(
+        !mob.privacy_signature().matches(),
+        "mobile IIDs are mostly fixed"
+    );
 }
 
 #[test]
