@@ -1,0 +1,115 @@
+//! Benchmarks the supervised census pipeline at `--jobs` ∈ {1, 2, 4, 8}
+//! on a fixed synthetic world, verifying on the way that every parallel
+//! run is equivalent to the serial one, and emits a
+//! `BENCH_supervisor.json` point so later PRs can track the
+//! parallel-speedup trajectory.
+//!
+//! `BENCH_QUICK=1` trims samples for CI smoke runs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use v6census_bench::Opts;
+use v6census_census::supervisor::{run_census, PipelineConfig};
+use v6census_synth::world::epochs;
+use v6census_synth::{FaultInjector, FaultSpec};
+
+fn main() {
+    let opts = Opts::parse();
+    let world = opts.world();
+    let reference = epochs::mar2015();
+    let (first, last) = (reference - 7, reference + 7);
+
+    let dir = std::env::temp_dir().join(format!("v6census-supbench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create log dir");
+    eprintln!(
+        "[supervisor_scaling] writing 15 day logs at scale {}…",
+        opts.scale
+    );
+    FaultInjector::new(0xbe7c)
+        .write_day_files(&world, first, last, &dir, &FaultSpec { faults: vec![] })
+        .expect("write day logs");
+
+    let samples = if std::env::var_os("BENCH_QUICK").is_some() {
+        2
+    } else {
+        5
+    };
+    let jobs_axis = [1usize, 2, 4, 8];
+    let mut points: Vec<(usize, f64, f64)> = Vec::new();
+    let mut serial_key: Option<String> = None;
+
+    for &jobs in &jobs_axis {
+        let mut cfg = PipelineConfig {
+            reference: Some(reference),
+            ..PipelineConfig::default()
+        };
+        cfg.supervisor.jobs = jobs;
+        let mut times: Vec<f64> = Vec::new();
+        let mut stage_walls: Vec<(String, u64)> = Vec::new();
+        for _ in 0..samples {
+            let start = Instant::now();
+            let run = run_census(&dir, &cfg).expect("clean bench run");
+            times.push(start.elapsed().as_secs_f64() * 1e3);
+            assert!(
+                run.overall_quality().is_exact(),
+                "bench world must run clean"
+            );
+            stage_walls = run
+                .manifest
+                .stages
+                .iter()
+                .map(|s| (s.stage.clone(), s.wall_millis))
+                .collect();
+            // Equivalence gate: a parallel run must be indistinguishable
+            // from the serial one in everything but wall time.
+            let key = run.manifest.equivalence_key();
+            match &serial_key {
+                None => serial_key = Some(key),
+                Some(k) => assert_eq!(k, &key, "--jobs={jobs} diverged from --jobs=1"),
+            }
+        }
+        let breakdown: Vec<String> = stage_walls
+            .iter()
+            .map(|(s, ms)| format!("{s}={ms}ms"))
+            .collect();
+        eprintln!("  [jobs={jobs}] stages: {}", breakdown.join(" "));
+        times.sort_by(|a, b| a.total_cmp(b));
+        let (min, median) = (times[0], times[times.len() / 2]);
+        println!("jobs={jobs:<2} min {min:>9.2}ms   median {median:>9.2}ms");
+        points.push((jobs, min, median));
+    }
+
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let speedup = points[0].1 / points.last().unwrap().1;
+    println!("speedup at jobs=8 vs jobs=1 (min-over-min): {speedup:.2}x on {cpus} cpu(s)");
+    if cpus == 1 {
+        eprintln!(
+            "[supervisor_scaling] note: single-CPU machine; CPU-bound stages cannot speed up here"
+        );
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"supervisor_scaling\",");
+    let _ = writeln!(json, "  \"scale\": {},", opts.scale);
+    let _ = writeln!(json, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(json, "  \"days\": 15,");
+    let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(json, "  \"cpus\": {cpus},");
+    let _ = writeln!(json, "  \"points\": [");
+    for (i, (jobs, min, median)) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"jobs\": {jobs}, \"wall_ms_min\": {min:.3}, \"wall_ms_median\": {median:.3}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedup_jobs8_vs_jobs1\": {speedup:.3}");
+    json.push_str("}\n");
+    opts.emit("BENCH_supervisor.json", &json);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -115,6 +115,7 @@ impl DaySummary {
 /// Days are indexed (`Day → summary`) so per-day lookups are O(log d)
 /// rather than linear scans, and duplicate-day ingestion is an explicit
 /// decision: [`Census::ingest`] merges, [`Census::try_ingest`] rejects.
+#[derive(Clone)]
 pub struct Census {
     summaries: Vec<DaySummary>,
     /// Day → position in `summaries`.

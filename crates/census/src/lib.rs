@@ -15,6 +15,9 @@
 //! * [`humane`] — the paper's "318M (95.8%)" number formatting.
 //! * [`stream`] — fault-tolerant streaming ingestion of on-disk day
 //!   logs: error taxonomy, error budgets, retries, checkpoints/resume.
+//! * [`supervisor`] — supervised parallel execution of the analysis
+//!   pipeline: panic isolation, stage deadlines, trie node budgets, and
+//!   quality-annotated (degraded-mode) results under a run manifest.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +29,13 @@ pub mod ingest;
 pub mod plot;
 pub mod routing;
 pub mod stream;
+pub mod supervisor;
 pub mod svg;
 pub mod tables;
 
 pub use ingest::{Census, DaySummary};
 pub use routing::RoutingTable;
 pub use stream::{IngestConfig, IngestError, IngestReport, StreamIngestor};
+pub use supervisor::{
+    run_census, PipelineConfig, RunManifest, StageReport, SupervisedRun, SupervisorConfig,
+};

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use v6census_addr::{Addr, Prefix};
 use v6census_core::temporal::Day;
 use v6census_synth::World;
-use v6census_trie::{AddrSet, PrefixMap};
+use v6census_trie::{AddrSet, PrefixMap, TrieError};
 
 /// A routing-table snapshot with attribution helpers.
 pub struct RoutingTable {
@@ -17,6 +17,20 @@ impl RoutingTable {
         RoutingTable {
             table: world.routing_table(day),
         }
+    }
+
+    /// Builds a table from externally sourced `(prefix, asn)` entries —
+    /// the untrusted path (a parsed BGP snapshot). A structurally broken
+    /// entry yields an error naming the offending prefix instead of a
+    /// panic, so a malformed snapshot can never abort ASN attribution.
+    pub fn from_entries(
+        entries: impl IntoIterator<Item = (Prefix, u32)>,
+    ) -> Result<RoutingTable, TrieError> {
+        let mut table = PrefixMap::new();
+        for (p, asn) in entries {
+            table.try_insert(p, asn)?;
+        }
+        Ok(RoutingTable { table })
     }
 
     /// The originating ASN for an address, via longest-prefix match.
@@ -100,6 +114,19 @@ mod tests {
             counts[&asns::MOBILE_A],
             groups[&asns::MOBILE_A].len() as u64
         );
+    }
+
+    #[test]
+    fn from_entries_builds_equivalent_table() {
+        let entries = vec![
+            ("2001:db8::/32".parse().unwrap(), 64496u32),
+            ("2001:db8:ff::/48".parse().unwrap(), 64497),
+            ("::/0".parse().unwrap(), 0),
+        ];
+        let rt = RoutingTable::from_entries(entries).unwrap();
+        assert_eq!(rt.prefix_count(), 3);
+        assert_eq!(rt.asn_of("2001:db8:ff::1".parse().unwrap()), Some(64497));
+        assert_eq!(rt.asn_of("9999::1".parse().unwrap()), Some(0));
     }
 
     #[test]

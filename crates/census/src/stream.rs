@@ -122,6 +122,14 @@ pub enum IngestError {
         /// Why it was rejected.
         reason: String,
     },
+    /// A supervised work unit processing this file died (panic) or was
+    /// abandoned (deadline); the file's data never reached the census.
+    UnitFailed {
+        /// The file involved.
+        path: PathBuf,
+        /// What happened to the unit.
+        reason: String,
+    },
 }
 
 impl IngestError {
@@ -138,6 +146,7 @@ impl IngestError {
             IngestError::MissingDay { .. } => "missing-day",
             IngestError::ErrorBudgetExceeded { .. } => "error-budget-exceeded",
             IngestError::BadCheckpoint { .. } => "bad-checkpoint",
+            IngestError::UnitFailed { .. } => "unit-failed",
         }
     }
 }
@@ -201,6 +210,9 @@ impl fmt::Display for IngestError {
             ),
             IngestError::BadCheckpoint { path, reason } => {
                 write!(f, "{}: bad checkpoint: {reason}", path.display())
+            }
+            IngestError::UnitFailed { path, reason } => {
+                write!(f, "{}: work unit failed: {reason}", path.display())
             }
         }
     }
@@ -431,6 +443,32 @@ struct FileParse {
     bad: Vec<IngestError>,
 }
 
+/// The census-independent result of reading and fully validating one day
+/// file, produced by [`StreamIngestor::parse_file`] and consumed by
+/// [`StreamIngestor::commit_parsed`]. The split exists so the supervised
+/// engine can parse files in parallel while committing serially.
+pub struct ParsedFile {
+    /// Per-file health so far (the outcome can still change at commit
+    /// time — e.g. a duplicate day rejected under the duplicate policy).
+    pub report: FileReport,
+    /// The validated day summary, `None` when the file failed validation.
+    pub summary: Option<DaySummary>,
+    /// Entries to checkpoint after a successful commit (`None` when the
+    /// data came *from* a checkpoint, or validation failed).
+    checkpoint_entries: Option<Vec<(Addr, u64)>>,
+}
+
+impl ParsedFile {
+    /// Wraps a failed file report: nothing to commit or checkpoint.
+    fn failed(report: FileReport) -> ParsedFile {
+        ParsedFile {
+            report,
+            summary: None,
+            checkpoint_entries: None,
+        }
+    }
+}
+
 /// Streaming, fault-tolerant ingestion over day-log files.
 #[derive(Clone, Debug, Default)]
 pub struct StreamIngestor {
@@ -521,6 +559,18 @@ impl StreamIngestor {
         census: &mut Census,
         ingested_days: &mut Vec<Day>,
     ) -> Result<FileReport, IngestError> {
+        let parsed = self.parse_file(path)?;
+        self.commit_parsed(parsed, census, ingested_days)
+    }
+
+    /// The census-independent half of ingestion: reads and fully
+    /// validates one file (checkpoint short-circuit, retrying read,
+    /// header/budget/truncation checks). Parsing many files this way is
+    /// embarrassingly parallel — the supervised engine runs one
+    /// [`StreamIngestor::parse_file`] per work unit and then applies
+    /// [`StreamIngestor::commit_parsed`] serially, in day order, so the
+    /// resulting census is identical to a sequential ingest.
+    pub fn parse_file(&self, path: &Path) -> Result<ParsedFile, IngestError> {
         let name = path
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
@@ -532,7 +582,9 @@ impl StreamIngestor {
                     path: path.to_path_buf(),
                     reason: format!("file name {name:?} has no YYYY-MM-DD date"),
                 };
-                return self.fail(path, Day(0), 0, 0, vec![e]);
+                return self
+                    .fail(path, Day(0), 0, 0, vec![e])
+                    .map(ParsedFile::failed);
             }
         };
         let mut report = FileReport {
@@ -553,14 +605,11 @@ impl StreamIngestor {
                         Ok((day, entries)) => {
                             report.data_lines = entries.len();
                             report.outcome = FileOutcome::FromCheckpoint;
-                            self.commit(
-                                DaySummary::from_entries(day, entries),
-                                path,
-                                census,
-                                ingested_days,
-                                &mut report,
-                            )?;
-                            return Ok(report);
+                            return Ok(ParsedFile {
+                                summary: Some(DaySummary::from_entries(day, entries)),
+                                report,
+                                checkpoint_entries: None,
+                            });
                         }
                         Err(e) => {
                             // A bad checkpoint falls through to re-reading
@@ -584,7 +633,9 @@ impl StreamIngestor {
                     retries,
                     detail: e.to_string(),
                 };
-                return self.fail(path, file_day, 0, 0, vec![err]);
+                return self
+                    .fail(path, file_day, 0, 0, vec![err])
+                    .map(ParsedFile::failed);
             }
         };
         report.data_lines = parse.data_lines;
@@ -596,7 +647,9 @@ impl StreamIngestor {
                 path: path.to_path_buf(),
                 reason: "missing or malformed `# synthetic day` header".into(),
             };
-            return self.fail(path, file_day, parse.data_lines, parse.bad.len(), vec![e]);
+            return self
+                .fail(path, file_day, parse.data_lines, parse.bad.len(), vec![e])
+                .map(ParsedFile::failed);
         };
         if header_day != file_day {
             let e = IngestError::DayMismatch {
@@ -606,7 +659,9 @@ impl StreamIngestor {
             };
             let mut errors = parse.bad.clone();
             errors.push(e);
-            return self.fail(path, file_day, parse.data_lines, parse.bad.len(), errors);
+            return self
+                .fail(path, file_day, parse.data_lines, parse.bad.len(), errors)
+                .map(ParsedFile::failed);
         }
 
         // Per-line errors count against the budget.
@@ -630,7 +685,7 @@ impl StreamIngestor {
                 if self.cfg.mode == ErrorMode::Strict {
                     return Err(e);
                 }
-                return Ok(report);
+                return Ok(ParsedFile::failed(report));
             }
         }
 
@@ -654,16 +709,43 @@ impl StreamIngestor {
             if self.cfg.mode == ErrorMode::Strict {
                 return Err(e);
             }
-            return Ok(report);
+            return Ok(ParsedFile::failed(report));
         }
 
         let summary = DaySummary::from_entries(file_day, parse.entries.iter().copied());
-        let committed = self.commit(summary, path, census, ingested_days, &mut report)?;
+        Ok(ParsedFile {
+            report,
+            summary: Some(summary),
+            checkpoint_entries: Some(parse.entries),
+        })
+    }
+
+    /// The shared-state half of ingestion: applies ordering/duplicate
+    /// policy, enters the day into the census, and writes the checkpoint.
+    /// Must be called in delivery order — it is the serial step of a
+    /// supervised parallel ingest.
+    pub fn commit_parsed(
+        &self,
+        parsed: ParsedFile,
+        census: &mut Census,
+        ingested_days: &mut Vec<Day>,
+    ) -> Result<FileReport, IngestError> {
+        let ParsedFile {
+            mut report,
+            summary,
+            checkpoint_entries,
+        } = parsed;
+        let Some(summary) = summary else {
+            return Ok(report);
+        };
+        let path = report.path.clone();
+        let day = summary.day;
+        let committed = self.commit(summary, &path, census, ingested_days, &mut report)?;
         if committed {
-            if let Some(dir) = &self.cfg.checkpoint_dir {
-                if let Err(e) = write_checkpoint(dir, file_day, &parse.entries) {
+            if let (Some(entries), Some(dir)) = (&checkpoint_entries, &self.cfg.checkpoint_dir) {
+                if let Err(e) = write_checkpoint(dir, day, entries) {
                     let err = IngestError::Io {
-                        path: checkpoint_path(dir, file_day),
+                        path: checkpoint_path(dir, day),
                         kind: e.kind(),
                         retries: 0,
                         detail: e.to_string(),

@@ -1,21 +1,33 @@
 //! `v6census census` — the full fault-tolerant pipeline over a directory
-//! of day-log files: streaming ingestion with an error budget, retries,
-//! checkpoints/`--resume`, then Table 1 and gap-aware nd-stability for a
-//! reference day.
+//! of day-log files, run under the supervised parallel engine: streaming
+//! ingestion with an error budget, retries, checkpoints/`--resume`, then
+//! Table 1, gap-aware nd-stability, and dense-prefix analysis for a
+//! reference day — with panic isolation, stage deadlines, and trie node
+//! budgets (`--jobs`, `--stage-deadline`, `--max-trie-nodes`).
 //!
-//! The output has two sections. The *ingest health* section reports what
-//! happened to every file (and legitimately differs between an
-//! interrupted-then-resumed run and an uninterrupted one); the
-//! *analysis* section is a pure function of the ingested days, so a
-//! resumed census reproduces it byte-for-byte.
+//! The output has three sections. The *ingest health* section reports
+//! what happened to every file (and legitimately differs between an
+//! interrupted-then-resumed run and an uninterrupted one); the *run
+//! manifest* section reports what supervision did (wall times make it
+//! nondeterministic); the *analysis* section is a pure function of the
+//! ingested days, so a resumed census — or one at a different `--jobs`
+//! setting — reproduces it byte-for-byte.
+//!
+//! The command returns its overall [`Quality`]; `main` maps a non-exact
+//! run to [`crate::EXIT_DEGRADED`] so scripts can tell a clean census
+//! from one that shed work.
 
 use crate::{err, CliError, Flags};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::time::Duration;
 use v6census_census::stream::{DuplicatePolicy, ErrorMode, FileOutcome};
-use v6census_census::tables::{table1, EpochSpec};
-use v6census_census::{IngestConfig, IngestReport, StreamIngestor};
-use v6census_core::temporal::{Day, GapPolicy, StabilityParams, VerdictQuality};
+use v6census_census::supervisor::{run_census, PipelineConfig, SupervisedRun, SupervisorConfig};
+use v6census_census::IngestConfig;
+use v6census_core::quality::Quality;
+use v6census_core::spatial::DensityClass;
+use v6census_core::temporal::{GapPolicy, StabilityParams, VerdictQuality};
+use v6census_synth::AnalysisFaultPlan;
 
 /// Parses the `--gap-policy` flag.
 fn gap_policy(flags: &Flags) -> Result<GapPolicy, CliError> {
@@ -58,44 +70,79 @@ pub fn config_from_flags(flags: &Flags) -> Result<IngestConfig, CliError> {
     Ok(cfg)
 }
 
-/// Runs the subcommand: ingest the directory, then render health +
-/// analysis sections.
-pub fn census(flags: &Flags) -> Result<String, CliError> {
+/// Builds the [`SupervisorConfig`] from flags (shared with tests).
+pub fn supervisor_from_flags(flags: &Flags) -> Result<SupervisorConfig, CliError> {
+    let jobs: usize = flags.get_parsed("jobs", 1usize)?;
+    if jobs == 0 {
+        return Err(err("--jobs must be at least 1"));
+    }
+    let stage_deadline = match flags.get("stage-deadline") {
+        None => None,
+        Some(_) => {
+            let ms: u64 = flags.get_parsed("stage-deadline", 0u64)?;
+            if ms == 0 {
+                return Err(err("--stage-deadline must be a positive millisecond count"));
+            }
+            Some(Duration::from_millis(ms))
+        }
+    };
+    let faults = match flags.get("inject") {
+        None => AnalysisFaultPlan::none(),
+        Some(spec) => AnalysisFaultPlan::parse(spec).map_err(err)?,
+    };
+    Ok(SupervisorConfig {
+        jobs,
+        stage_deadline,
+        max_trie_nodes: flags.get_parsed("max-trie-nodes", 0usize)?,
+        faults,
+    })
+}
+
+/// Runs the subcommand: ingest the directory under supervision, run the
+/// analysis stages, then render health + manifest + analysis sections.
+/// Returns the report and the run's overall quality, which `main` maps
+/// to the process exit code.
+pub fn census(flags: &Flags) -> Result<(String, Quality), CliError> {
     let dir = flags
         .get("dir")
         .map(str::to_string)
         .or_else(|| flags.positional.first().cloned())
         .ok_or_else(|| err("census requires a log directory (--dir DIR or positional)"))?;
-    let cfg = config_from_flags(flags)?;
-    let ingestor = StreamIngestor::new(cfg);
-    let report = ingestor
-        .ingest_dir(std::path::Path::new(&dir))
-        .map_err(|e| err(format!("ingest failed: {e}")))?;
     let n: u32 = flags.get_parsed("n", 3u32)?;
     if n == 0 {
         return Err(err("--n must be at least 1"));
     }
-    let params = StabilityParams::nd(n);
+    let class: DensityClass = flags
+        .get("class")
+        .unwrap_or("8@/64")
+        .parse()
+        .map_err(|e| err(format!("{e}")))?;
     let reference = match flags.get("reference") {
         Some(s) => Some(super::synth_day(s)?),
-        None => {
-            // Default: the middle ingested day, so the ±7d window fits.
-            let all: Vec<Day> = report.census.days().collect();
-            (!all.is_empty()).then(|| all[all.len() / 2])
-        }
+        // None: the supervisor defaults to the middle ingested day, so
+        // the ±7d window fits.
+        None => None,
     };
-    let policy = gap_policy(flags)?;
-    Ok(render(&report, reference, &params, policy))
+    let params = StabilityParams::nd(n);
+    let cfg = PipelineConfig {
+        ingest: config_from_flags(flags)?,
+        supervisor: supervisor_from_flags(flags)?,
+        params,
+        reference,
+        gap_policy: gap_policy(flags)?,
+        dense_n: class.n,
+        dense_p: class.p,
+    };
+    let run = run_census(std::path::Path::new(&dir), &cfg)
+        .map_err(|e| err(format!("ingest failed: {e}")))?;
+    let quality = run.overall_quality();
+    Ok((render(&run, &params, &class), quality))
 }
 
-/// Renders the two-section report. Split from [`census`] so tests can
-/// drive it with a hand-built report.
-pub fn render(
-    report: &IngestReport,
-    reference: Option<Day>,
-    params: &StabilityParams,
-    policy: GapPolicy,
-) -> String {
+/// Renders the three-section report. Split from [`census`] so tests can
+/// drive it with a hand-built run.
+pub fn render(run: &SupervisedRun, params: &StabilityParams, class: &DensityClass) -> String {
+    let report = &run.report;
     let mut out = report.health_report();
     let ingested = report
         .files
@@ -115,67 +162,103 @@ pub fn render(
         report.files.len()
     );
 
+    out.push_str(&run.manifest.render());
+    out.push('\n');
+
     out.push_str("==== analysis ====\n");
-    let Some(reference) = reference else {
+    let Some(reference) = run.reference else {
         out.push_str("no days ingested; nothing to analyze\n");
         return out;
     };
     let _ = writeln!(out, "reference day: {reference}");
-    if report.census.summary(reference).is_some() {
-        let spec = [EpochSpec {
-            label: "reference",
-            reference,
-        }];
-        let (daily, _weekly) = table1(&report.census, &spec);
-        out.push('\n');
-        out.push_str(&daily.render());
-    } else {
-        let _ = writeln!(
-            out,
-            "reference day {reference} was not ingested; Table 1 skipped"
-        );
+    match &run.table1 {
+        None => {
+            let _ = writeln!(
+                out,
+                "reference day {reference} was not ingested; Table 1 skipped"
+            );
+        }
+        Some(t) => match &t.value {
+            Some(rendered) => {
+                out.push('\n');
+                out.push_str(rendered);
+                if !t.quality.is_exact() {
+                    let _ = writeln!(out, "Table 1{}", t.caveat());
+                }
+            }
+            None => {
+                let _ = writeln!(out, "Table 1 unavailable{}", t.caveat());
+            }
+        },
     }
 
-    let obs = report.census.other_daily();
-    let active = obs.on(reference);
-    let verdict = obs.stable_on_gapped(reference, params, policy);
+    let active = report.census.other_daily().on(reference);
     let _ = writeln!(out, "\nstability of Other addresses on {reference}:");
-    match &verdict.quality {
-        VerdictQuality::Complete => {
-            let _ = writeln!(out, "  window fully covered");
+    match run.stability.as_ref().and_then(|s| s.value.as_ref()) {
+        None => {
+            let caveat = run
+                .stability
+                .as_ref()
+                .map(|s| s.caveat())
+                .unwrap_or_default();
+            let _ = writeln!(out, "  verdict unavailable{caveat}");
         }
-        VerdictQuality::Widened {
-            back_extra,
-            fwd_extra,
-        } => {
-            let _ = writeln!(
-                out,
-                "  window widened by -{back_extra}d/+{fwd_extra}d to cover ingestion gaps"
-            );
-        }
-        VerdictQuality::Unknown { missing } => {
-            let days: Vec<String> = missing.iter().map(|d| d.to_string()).collect();
-            let _ = writeln!(
-                out,
-                "  INCONCLUSIVE: window days never ingested: {}",
-                days.join(", ")
-            );
+        Some(verdict) => {
+            match &verdict.quality {
+                VerdictQuality::Complete => {
+                    let _ = writeln!(out, "  window fully covered");
+                }
+                VerdictQuality::Widened {
+                    back_extra,
+                    fwd_extra,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "  window widened by -{back_extra}d/+{fwd_extra}d to cover ingestion gaps"
+                    );
+                }
+                VerdictQuality::Unknown { missing } => {
+                    let days: Vec<String> = missing.iter().map(|d| d.to_string()).collect();
+                    let _ = writeln!(
+                        out,
+                        "  INCONCLUSIVE: window days never ingested: {}",
+                        days.join(", ")
+                    );
+                }
+            }
+            let stable = verdict.stable.len();
+            if active.is_empty() {
+                let _ = writeln!(out, "  no active addresses on the reference day");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {:>10} ({:.2}%)\n  {:<16} {:>10} ({:.2}%)",
+                    params.label(),
+                    stable,
+                    100.0 * stable as f64 / active.len() as f64,
+                    format!("not {}d-stable", params.n),
+                    active.len() - stable,
+                    100.0 * (active.len() - stable) as f64 / active.len() as f64,
+                );
+            }
         }
     }
-    let stable = verdict.stable.len();
-    if active.is_empty() {
-        let _ = writeln!(out, "  no active addresses on the reference day");
-    } else {
+
+    if let Some(d) = &run.dense {
         let _ = writeln!(
             out,
-            "  {:<16} {:>10} ({:.2}%)\n  {:<16} {:>10} ({:.2}%)",
-            params.label(),
-            stable,
-            100.0 * stable as f64 / active.len() as f64,
-            format!("not {}d-stable", params.n),
-            active.len() - stable,
-            100.0 * (active.len() - stable) as f64 / active.len() as f64,
+            "\n{class} prefixes among Other addresses on {reference}:{}",
+            d.caveat()
         );
+        if d.value.is_empty() {
+            let _ = writeln!(out, "  none");
+        }
+        for dp in d.value.iter().take(12) {
+            let _ = writeln!(out, "  {:<28} {:>10}", dp.prefix.to_string(), dp.count);
+        }
+        if d.value.len() > 12 {
+            let _ = writeln!(out, "  … and {} more", d.value.len() - 12);
+        }
     }
     out
 }
@@ -183,6 +266,7 @@ pub fn render(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use v6census_synth::AnalysisFault;
 
     fn flags(args: &[&str]) -> Flags {
         Flags::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
@@ -224,6 +308,39 @@ mod tests {
             gap_policy(&flags(&["--gap-policy=flag"])).unwrap(),
             GapPolicy::Flag
         );
+    }
+
+    #[test]
+    fn supervisor_config_parsing() {
+        let cfg = supervisor_from_flags(&flags(&[
+            "--jobs=4",
+            "--stage-deadline=1500",
+            "--max-trie-nodes=4096",
+            "--inject=panic:densify/2001,hang:stability:60000",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.jobs, 4);
+        assert_eq!(cfg.stage_deadline, Some(Duration::from_millis(1500)));
+        assert_eq!(cfg.max_trie_nodes, 4096);
+        assert_eq!(cfg.faults.rules().len(), 2);
+        assert!(matches!(
+            cfg.faults.fault_for("densify/2001"),
+            Some(AnalysisFault::PanicShard { .. })
+        ));
+
+        let cfg = supervisor_from_flags(&flags(&[])).unwrap();
+        assert_eq!(cfg.jobs, 1);
+        assert_eq!(cfg.stage_deadline, None);
+        assert_eq!(cfg.max_trie_nodes, 0);
+        assert!(cfg.faults.is_empty());
+    }
+
+    #[test]
+    fn supervisor_config_validation() {
+        assert!(supervisor_from_flags(&flags(&["--jobs=0"])).is_err());
+        assert!(supervisor_from_flags(&flags(&["--jobs=x"])).is_err());
+        assert!(supervisor_from_flags(&flags(&["--stage-deadline=0"])).is_err());
+        assert!(supervisor_from_flags(&flags(&["--inject=warble:x"])).is_err());
     }
 
     #[test]

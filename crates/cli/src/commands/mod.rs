@@ -48,12 +48,19 @@ COMMANDS
   stability             full nd-stable analysis over daily files (§5.1)
                         --dir DIR  (files named YYYY-MM-DD*, one addr/line)
                         [--n 3] [--window 7] [--slew 0] [--reference DATE]
-  census                fault-tolerant pipeline over day-log files:
-                        ingest health report, Table 1, gap-aware stability
+  census                fault-tolerant supervised pipeline over day-log files:
+                        ingest health, run manifest, Table 1, gap-aware
+                        stability, dense prefixes
                         --dir DIR (or positional; files named YYYY-MM-DD*)
                         [--max-bad-ratio 0.01] [--strict] [--merge-duplicates]
                         [--checkpoint DIR] [--resume] [--max-days N]
                         [--n 3] [--reference DATE] [--gap-policy widen|flag|ignore]
+                        [--jobs 1] worker threads per analysis stage
+                        [--stage-deadline MS] per-stage wall-clock deadline
+                        [--max-trie-nodes N] densify node budget (degrade, not die)
+                        [--class 8@/64] density class for the dense section
+                        [--inject SPEC] analysis fault drill, e.g.
+                          panic:densify/2001  hang:stability:60000  slow:ingest:50
   targets               probe-target list from dense prefixes (§6.2.2)
                         [--class 2@/112] [--budget 10000] [--include-observed]
   ptr                   addresses -> ip6.arpa names [--reverse]
@@ -62,4 +69,12 @@ COMMANDS
   synth                 emit a synthetic day log (addr, hits, true kind)
                         [--day 2015-03-17] [--scale 0.02] [--seed N]
   help                  this text
+
+EXIT CODES
+  0  success, all results exact
+  1  data or I/O error (bad input, strict-mode abort, unreadable files)
+  2  usage error (unknown command, missing arguments)
+  3  completed but degraded: some result is coarser or partial — a shard
+     panicked twice, a stage hit its deadline, or a budget forced coarser
+     aggregation; the run manifest in the output names every casualty
 ";

@@ -14,14 +14,32 @@
 //! * `ptr`       — `ip6.arpa` pointer names, both directions
 //! * `profile`   — aguri-style traffic profile from `addr hits` lines
 //! * `synth`     — emit a synthetic day log for piping into the above
-//! * `census`    — fault-tolerant streaming pipeline over day-log files:
-//!   ingest health report, Table 1, gap-aware stability
+//! * `census`    — fault-tolerant streaming pipeline over day-log files,
+//!   run under the supervised parallel engine: ingest health report, run
+//!   manifest, Table 1, gap-aware stability, dense prefixes
+//!
+//! Exit codes: [`EXIT_OK`] (0), [`EXIT_DATA_ERROR`] (1), [`EXIT_USAGE`]
+//! (2), and [`EXIT_DEGRADED`] (3) for a run that completed but shed work
+//! (see the run manifest in its output).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod commands;
 pub mod input;
+
+/// Exit code: success with an exact (no caveat) result.
+pub const EXIT_OK: i32 = 0;
+/// Exit code: the command failed on its data or I/O (bad input, strict
+/// abort, unreadable files).
+pub const EXIT_DATA_ERROR: i32 = 1;
+/// Exit code: usage error (unknown command, missing arguments).
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code: the command *completed* but some result is `Degraded` or
+/// `Partial` — a supervised census that excluded a panicked shard, hit a
+/// trie budget, or lost a stage to its deadline. The report itself says
+/// what was shed; scripts gate on this code.
+pub const EXIT_DEGRADED: i32 = 3;
 
 /// A command error carrying the message shown to the user.
 #[derive(Debug)]

@@ -62,7 +62,7 @@ fn census_command_over_faulty_logs_and_resume() {
     ];
 
     // Uninterrupted run.
-    let full = census(&flags(&common)).unwrap();
+    let (full, full_quality) = census(&flags(&common)).unwrap();
     assert!(full.starts_with("==== ingest health ===="), "{full}");
     for label in ["bad-line", "truncated", "duplicate-day", "missing-day"] {
         assert!(
@@ -82,18 +82,24 @@ fn census_command_over_faulty_logs_and_resume() {
         "gap-aware verdict present: {analysis}"
     );
     assert!(analysis.contains("3d-stable"), "{analysis}");
+    // The widened stability window makes the run honest about itself:
+    // the command reports a non-exact overall quality (exit code 3).
+    assert!(
+        !full_quality.is_exact(),
+        "widened window must degrade: {full}"
+    );
 
     // Interrupted run (simulated kill after 8 days), then resume.
     let mut killed_args = common.clone();
     killed_args.push(format!("--checkpoint={}", ckpts.display()));
     killed_args.push("--max-days=8".to_string());
-    let killed = census(&flags(&killed_args)).unwrap();
+    let (killed, _) = census(&flags(&killed_args)).unwrap();
     assert!(killed.contains("skipped"), "{killed}");
 
     let mut resume_args = common.clone();
     resume_args.push(format!("--checkpoint={}", ckpts.display()));
     resume_args.push("--resume".to_string());
-    let resumed = census(&flags(&resume_args)).unwrap();
+    let (resumed, resumed_quality) = census(&flags(&resume_args)).unwrap();
     assert!(
         resumed.contains("checkpoint"),
         "resume reuses checkpoints: {resumed}"
@@ -104,6 +110,7 @@ fn census_command_over_faulty_logs_and_resume() {
         analysis_section(&resumed),
         "analysis must be byte-identical after kill + resume"
     );
+    assert_eq!(full_quality, resumed_quality);
 
     std::fs::remove_dir_all(&logs).unwrap();
     std::fs::remove_dir_all(&ckpts).unwrap();

@@ -43,8 +43,10 @@
 #![warn(missing_docs)]
 
 pub mod classify;
+pub mod quality;
 pub mod spatial;
 pub mod temporal;
 
 pub use classify::{ClassifiedAddr, TemporalClass};
+pub use quality::{Annotated, Quality};
 pub use temporal::{DailyObservations, Day, StabilityParams};

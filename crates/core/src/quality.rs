@@ -1,0 +1,175 @@
+//! The result-quality lattice used by the supervised analysis engine.
+//!
+//! Every table, figure, or verdict a run emits is annotated with how it
+//! was obtained, so a reader can always tell whether a number came from a
+//! clean computation or from a run that had to shed work:
+//!
+//! * [`Quality::Exact`] — computed from complete inputs with no budget
+//!   or deadline intervention.
+//! * [`Quality::Degraded`] — the value is *correct for a coarser
+//!   question* than asked: a densify that hit its node budget and
+//!   aggregated to a coarser level, a stability window that had to widen
+//!   around ingestion gaps.
+//! * [`Quality::Partial`] — some inputs are missing entirely: a shard
+//!   was excluded after panicking, a stage timed out, window days were
+//!   never ingested.
+//!
+//! The lattice is ordered `Exact ≥ Degraded ≥ Partial`; combining
+//! qualities takes the worst ([`Quality::meet`]), so a roll-up over many
+//! products is `Exact` only when every contributor is.
+
+use std::fmt;
+
+/// How trustworthy a computed result is. See the module docs for the
+/// lattice semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Quality {
+    /// Complete inputs, no budget or deadline intervention.
+    #[default]
+    Exact,
+    /// Correct for a coarser question (budget-capped aggregation,
+    /// widened window); nothing was dropped.
+    Degraded,
+    /// Some inputs are missing (excluded shard, timeout, uncovered
+    /// days); the value is a lower bound on what a clean run would see.
+    Partial,
+}
+
+impl Quality {
+    /// A stable short label, used in manifests and tests.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Quality::Exact => "exact",
+            Quality::Degraded => "degraded",
+            Quality::Partial => "partial",
+        }
+    }
+
+    /// Lattice meet: the worst of the two qualities. `Ord` is derived
+    /// with `Exact < Degraded < Partial`, so "worst" is `max`.
+    #[must_use]
+    pub fn meet(self, other: Quality) -> Quality {
+        self.max(other)
+    }
+
+    /// The worst quality in an iterator; `Exact` when empty.
+    pub fn meet_all(qualities: impl IntoIterator<Item = Quality>) -> Quality {
+        qualities
+            .into_iter()
+            .fold(Quality::Exact, |acc, q| acc.meet(q))
+    }
+
+    /// True when downstream consumers need no caveat.
+    pub const fn is_exact(self) -> bool {
+        matches!(self, Quality::Exact)
+    }
+}
+
+impl fmt::Display for Quality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A value carrying its [`Quality`] and the human-readable reasons for
+/// any downgrade — the shape every supervised analysis product takes.
+#[derive(Clone, Debug)]
+pub struct Annotated<T> {
+    /// The computed value.
+    pub value: T,
+    /// How it was obtained.
+    pub quality: Quality,
+    /// Why it is not `Exact` (empty for exact results).
+    pub notes: Vec<String>,
+}
+
+impl<T> Annotated<T> {
+    /// An exact value with no caveats.
+    pub fn exact(value: T) -> Annotated<T> {
+        Annotated {
+            value,
+            quality: Quality::Exact,
+            notes: Vec::new(),
+        }
+    }
+
+    /// A value downgraded to `quality` for the given reason.
+    pub fn downgraded(value: T, quality: Quality, note: impl Into<String>) -> Annotated<T> {
+        Annotated {
+            value,
+            quality,
+            notes: vec![note.into()],
+        }
+    }
+
+    /// Downgrades in place: quality meets `quality`, the note is kept.
+    pub fn note(&mut self, quality: Quality, note: impl Into<String>) {
+        self.quality = self.quality.meet(quality);
+        let note = note.into();
+        if !note.is_empty() {
+            self.notes.push(note);
+        }
+    }
+
+    /// Maps the value, preserving the annotation.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Annotated<U> {
+        Annotated {
+            value: f(self.value),
+            quality: self.quality,
+            notes: self.notes,
+        }
+    }
+
+    /// The `[quality]` suffix rendered next to a table or figure title:
+    /// empty for exact results, `" [degraded: reason; reason]"` otherwise.
+    pub fn caveat(&self) -> String {
+        if self.quality.is_exact() {
+            String::new()
+        } else if self.notes.is_empty() {
+            format!(" [{}]", self.quality)
+        } else {
+            format!(" [{}: {}]", self.quality, self.notes.join("; "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_order_and_meet() {
+        assert!(Quality::Exact < Quality::Degraded);
+        assert!(Quality::Degraded < Quality::Partial);
+        assert_eq!(Quality::Exact.meet(Quality::Degraded), Quality::Degraded);
+        assert_eq!(Quality::Partial.meet(Quality::Degraded), Quality::Partial);
+        assert_eq!(Quality::meet_all([]), Quality::Exact);
+        assert_eq!(
+            Quality::meet_all([Quality::Exact, Quality::Degraded, Quality::Exact]),
+            Quality::Degraded
+        );
+        assert!(Quality::Exact.is_exact());
+        assert!(!Quality::Partial.is_exact());
+        assert_eq!(Quality::Degraded.to_string(), "degraded");
+    }
+
+    #[test]
+    fn annotation_accumulates_downgrades() {
+        let mut a = Annotated::exact(42);
+        assert_eq!(a.caveat(), "");
+        a.note(Quality::Degraded, "trie node budget hit");
+        a.note(Quality::Partial, "shard s-3 excluded");
+        assert_eq!(a.quality, Quality::Partial);
+        assert_eq!(
+            a.caveat(),
+            " [partial: trie node budget hit; shard s-3 excluded]"
+        );
+        let b = a.map(|v| v * 2);
+        assert_eq!(b.value, 84);
+        assert_eq!(b.quality, Quality::Partial);
+        assert_eq!(
+            Annotated::downgraded((), Quality::Degraded, "capped").caveat(),
+            " [degraded: capped]"
+        );
+    }
+}

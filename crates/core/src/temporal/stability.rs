@@ -137,6 +137,17 @@ impl VerdictQuality {
     pub fn is_conclusive(&self) -> bool {
         !matches!(self, VerdictQuality::Unknown { .. })
     }
+
+    /// The position of this verdict on the run-level quality lattice:
+    /// `Complete` is exact, a widened window is a degraded-but-honest
+    /// answer, and uncovered days make the verdict partial.
+    pub fn quality(&self) -> crate::quality::Quality {
+        match self {
+            VerdictQuality::Complete => crate::quality::Quality::Exact,
+            VerdictQuality::Widened { .. } => crate::quality::Quality::Degraded,
+            VerdictQuality::Unknown { .. } => crate::quality::Quality::Partial,
+        }
+    }
 }
 
 /// The outcome of [`DailyObservations::stable_on_gapped`].

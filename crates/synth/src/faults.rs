@@ -75,6 +75,14 @@ pub enum Fault {
     },
     /// The day's file is never written.
     DropDay,
+    /// Appends `addrs` synthetic addresses packed into one /64 — a
+    /// *valid* but adversarially dense file (header count and integrity
+    /// trailer are rewritten to match), built to blow past analysis
+    /// memory budgets rather than to fail parsing.
+    OversizedPrefixBlob {
+        /// How many blob addresses to append.
+        addrs: usize,
+    },
 }
 
 impl fmt::Display for Fault {
@@ -85,6 +93,7 @@ impl fmt::Display for Fault {
             Fault::DuplicateDay => write!(f, "duplicate-day"),
             Fault::ShiftHeaderDay { offset } => write!(f, "shift-header-day({offset:+})"),
             Fault::DropDay => write!(f, "drop-day"),
+            Fault::OversizedPrefixBlob { addrs } => write!(f, "oversized-prefix-blob({addrs})"),
         }
     }
 }
@@ -235,6 +244,59 @@ impl FaultInjector {
                 }
                 Some(out)
             }
+            Fault::OversizedPrefixBlob { addrs } => {
+                // Keep everything except the trailer, append the blob,
+                // then rewrite header count and trailer so the file still
+                // passes every integrity check — the danger is its size,
+                // not its shape.
+                let mut header: Vec<&str> = Vec::new();
+                let mut data: Vec<&str> = Vec::new();
+                let mut hits = 0u64;
+                for (i, line) in text.lines().enumerate() {
+                    if line.starts_with('#') {
+                        if i == 0 || !line.trim_start_matches('#').trim().starts_with("end") {
+                            header.push(line);
+                        }
+                        continue;
+                    }
+                    data.push(line);
+                    hits += line
+                        .split_whitespace()
+                        .nth(1)
+                        .and_then(|h| h.parse::<u64>().ok())
+                        .unwrap_or(1);
+                }
+                // The blob lives in one /64; low bits enumerate hosts.
+                let seg = self.ent.u64(b"blob", &ids) & 0xffff;
+                let base: u128 = (0x2001_0db8u128 << 96) | ((0xb10b_0000u128 | seg as u128) << 64);
+                let n = data.len() + addrs;
+                let mut out = String::with_capacity(text.len() + addrs * 24);
+                for (i, line) in header.iter().enumerate() {
+                    if i == 0 {
+                        match line.split_once(": ") {
+                            Some((front, _)) => {
+                                let _ = writeln!(out, "{front}: {n} unique client addrs");
+                            }
+                            None => {
+                                out.push_str(line);
+                                out.push('\n');
+                            }
+                        }
+                    } else {
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                }
+                for line in &data {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                for i in 0..addrs {
+                    let _ = writeln!(out, "{}\t1\tblob", v6census_addr::Addr(base | i as u128));
+                }
+                let _ = writeln!(out, "# end {n} {}", hits + addrs as u64);
+                Some(out)
+            }
         }
     }
 
@@ -277,6 +339,148 @@ impl FaultInjector {
             }
         }
         Ok(manifest)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Analysis-phase faults: tripped inside supervised work units
+// ---------------------------------------------------------------------------
+
+/// A fault injected into the *analysis* phase — tripped inside a running
+/// work unit of the supervised engine, rather than written into a file.
+/// These exercise the supervisor's containment machinery: panic
+/// isolation with retry, deadline watchdogs, and cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnalysisFault {
+    /// The unit panics on its first `attempts` attempts (attempt numbers
+    /// are 0-based), then succeeds — `attempts: 1` exercises
+    /// retry-then-recover, a large value exercises retry-then-exclude.
+    PanicShard {
+        /// How many leading attempts panic.
+        attempts: u32,
+    },
+    /// The unit blocks for `millis` without ever checking cancellation —
+    /// a hung shard the deadline watchdog must abandon.
+    HangShard {
+        /// How long the unit blocks, in milliseconds.
+        millis: u64,
+    },
+    /// The unit sleeps `millis` before doing its (correct) work — slow
+    /// but healthy, must *not* be excluded if the deadline allows.
+    SlowShard {
+        /// Added latency in milliseconds.
+        millis: u64,
+    },
+}
+
+impl fmt::Display for AnalysisFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisFault::PanicShard { attempts } => write!(f, "panic-shard(x{attempts})"),
+            AnalysisFault::HangShard { millis } => write!(f, "hang-shard({millis}ms)"),
+            AnalysisFault::SlowShard { millis } => write!(f, "slow-shard({millis}ms)"),
+        }
+    }
+}
+
+/// Which analysis units get which [`AnalysisFault`], matched by
+/// substring against the unit label (e.g. `"densify/2001:"` or
+/// `"ingest/2015-03-17"`). Parsed from the CLI `--inject` flag.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisFaultPlan {
+    rules: Vec<(String, AnalysisFault)>,
+}
+
+impl AnalysisFaultPlan {
+    /// An empty plan: no unit is faulted.
+    pub fn none() -> AnalysisFaultPlan {
+        AnalysisFaultPlan::default()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Schedules `fault` for every unit whose label contains `pattern`.
+    pub fn add(&mut self, pattern: impl Into<String>, fault: AnalysisFault) {
+        self.rules.push((pattern.into(), fault));
+    }
+
+    /// The scheduled rules, in declaration order.
+    pub fn rules(&self) -> &[(String, AnalysisFault)] {
+        &self.rules
+    }
+
+    /// Parses a comma-separated fault spec, the `--inject` grammar:
+    ///
+    /// * `panic:PATTERN` — panic on the first attempt only;
+    /// * `panic:PATTERN:N` — panic on the first `N` attempts;
+    /// * `hang:PATTERN:MILLIS` — block without checking cancellation;
+    /// * `slow:PATTERN:MILLIS` — sleep, then work normally.
+    pub fn parse(spec: &str) -> Result<AnalysisFaultPlan, String> {
+        let mut plan = AnalysisFaultPlan::none();
+        for item in spec.split(',').filter(|s| !s.trim().is_empty()) {
+            let item = item.trim();
+            let mut parts = item.splitn(3, ':');
+            let kind = parts.next().unwrap_or("");
+            let pattern = parts
+                .next()
+                .filter(|p| !p.is_empty())
+                .ok_or_else(|| format!("inject spec {item:?}: missing unit pattern"))?;
+            let num = parts.next();
+            let parse_num = |what: &str| -> Result<u64, String> {
+                num.ok_or_else(|| format!("inject spec {item:?}: missing {what}"))?
+                    .parse::<u64>()
+                    .map_err(|_| format!("inject spec {item:?}: bad {what}"))
+            };
+            let fault = match kind {
+                "panic" => AnalysisFault::PanicShard {
+                    attempts: match num {
+                        None => 1,
+                        Some(_) => parse_num("attempt count")? as u32,
+                    },
+                },
+                "hang" => AnalysisFault::HangShard {
+                    millis: parse_num("milliseconds")?,
+                },
+                "slow" => AnalysisFault::SlowShard {
+                    millis: parse_num("milliseconds")?,
+                },
+                other => {
+                    return Err(format!(
+                        "inject spec {item:?}: unknown fault kind {other:?} \
+                         (expected panic, hang, or slow)"
+                    ))
+                }
+            };
+            plan.add(pattern, fault);
+        }
+        Ok(plan)
+    }
+
+    /// The first scheduled fault whose pattern matches `unit`.
+    pub fn fault_for(&self, unit: &str) -> Option<AnalysisFault> {
+        self.rules
+            .iter()
+            .find(|(pat, _)| unit.contains(pat.as_str()))
+            .map(|&(_, f)| f)
+    }
+
+    /// Executes whatever fault is scheduled for `unit` at `attempt`:
+    /// panics, blocks, or sleeps. The supervised engine calls this at the
+    /// top of each work unit; with an empty plan it is a no-op.
+    pub fn trip(&self, unit: &str, attempt: u32) {
+        match self.fault_for(unit) {
+            Some(AnalysisFault::PanicShard { attempts }) if attempt < attempts => {
+                panic!("injected panic in unit `{unit}` (attempt {attempt})");
+            }
+            Some(AnalysisFault::HangShard { millis })
+            | Some(AnalysisFault::SlowShard { millis }) => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+            }
+            _ => {}
+        }
     }
 }
 
@@ -363,6 +567,94 @@ mod tests {
             l.len(),
             "data must be intact"
         );
+    }
+
+    #[test]
+    fn oversized_blob_stays_valid_and_packs_one_slash64() {
+        let l = log();
+        let inj = FaultInjector::new(9);
+        let before = l.to_text();
+        let out = inj
+            .apply(l.day, &before, &Fault::OversizedPrefixBlob { addrs: 500 })
+            .unwrap();
+        let data: Vec<&str> = out.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(data.len(), l.len() + 500);
+        // Header count and trailer were rewritten to match.
+        let header = out.lines().next().unwrap();
+        assert!(
+            header.contains(&format!(": {} unique client addrs", data.len())),
+            "{header}"
+        );
+        let trailer = out.lines().last().unwrap();
+        let hits_before: u64 = l.entries.iter().map(|e| e.hits).sum();
+        assert_eq!(
+            trailer,
+            &format!("# end {} {}", data.len(), hits_before + 500)
+        );
+        // All blob addresses parse and share one /64.
+        let blob: Vec<v6census_addr::Addr> = data
+            .iter()
+            .filter(|l| l.ends_with("\tblob"))
+            .map(|l| l.split('\t').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(blob.len(), 500);
+        let net = blob[0].0 >> 64;
+        assert!(blob.iter().all(|a| a.0 >> 64 == net), "blob spans /64s");
+        // Deterministic.
+        assert_eq!(
+            out,
+            inj.apply(l.day, &before, &Fault::OversizedPrefixBlob { addrs: 500 })
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn analysis_plan_parses_the_inject_grammar() {
+        let plan =
+            AnalysisFaultPlan::parse("panic:densify/2001, hang:ingest/2015-03-18:5000,slow:mra:25")
+                .unwrap();
+        assert_eq!(plan.rules().len(), 3);
+        assert_eq!(
+            plan.fault_for("densify/2001:db8::/32"),
+            Some(AnalysisFault::PanicShard { attempts: 1 })
+        );
+        assert_eq!(
+            plan.fault_for("ingest/2015-03-18"),
+            Some(AnalysisFault::HangShard { millis: 5000 })
+        );
+        assert_eq!(
+            plan.fault_for("mra/whole"),
+            Some(AnalysisFault::SlowShard { millis: 25 })
+        );
+        assert_eq!(plan.fault_for("table1/whole"), None);
+        assert_eq!(
+            AnalysisFaultPlan::parse("panic:x:3")
+                .unwrap()
+                .fault_for("x"),
+            Some(AnalysisFault::PanicShard { attempts: 3 })
+        );
+        assert!(AnalysisFaultPlan::parse("").unwrap().is_empty());
+        assert!(AnalysisFaultPlan::parse("panic:").is_err());
+        assert!(AnalysisFaultPlan::parse("hang:x").is_err());
+        assert!(AnalysisFaultPlan::parse("slow:x:abc").is_err());
+        assert!(AnalysisFaultPlan::parse("explode:x").is_err());
+        assert_eq!(
+            AnalysisFault::PanicShard { attempts: 2 }.to_string(),
+            "panic-shard(x2)"
+        );
+    }
+
+    #[test]
+    fn analysis_plan_trips_panics_and_recovers_on_retry() {
+        let plan = AnalysisFaultPlan::parse("panic:shard-7").unwrap();
+        let r = std::panic::catch_unwind(|| plan.trip("densify/shard-7", 0));
+        assert!(r.is_err(), "attempt 0 must panic");
+        // Attempt 1 is past the budget: no panic.
+        plan.trip("densify/shard-7", 1);
+        // Unmatched units never trip.
+        plan.trip("densify/shard-8", 0);
+        // Slow faults return (and don't panic).
+        AnalysisFaultPlan::parse("slow:x:1").unwrap().trip("x", 0);
     }
 
     #[test]

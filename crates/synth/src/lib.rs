@@ -36,7 +36,9 @@ pub mod rng;
 pub mod router;
 pub mod world;
 
-pub use faults::{Fault, FaultInjector, FaultManifest, FaultSpec};
+pub use faults::{
+    AnalysisFault, AnalysisFaultPlan, Fault, FaultInjector, FaultManifest, FaultSpec,
+};
 pub use kinds::TrueKind;
 pub use loggen::{DayLog, LogEntry};
 pub use world::{growth, Network, World, WorldConfig};

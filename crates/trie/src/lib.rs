@@ -30,4 +30,4 @@ mod tree;
 
 pub use aggcount::{dense_prefixes_at, populations, AggregateCounts};
 pub use set::AddrSet;
-pub use tree::{DensePrefix, PrefixMap, RadixTree};
+pub use tree::{BudgetedDensify, DensePrefix, PrefixMap, RadixTree, TrieError};

@@ -3,7 +3,68 @@
 //! densify operation (§5.2.3) — and [`PrefixMap`], a generic
 //! longest-prefix-match map used for BGP routing tables.
 
+use std::fmt;
 use v6census_addr::{Addr, Prefix};
+
+/// Structured failure of a trie structural operation.
+///
+/// The trie's internal invariants (an occupied slot stays occupied
+/// across a restructure; canonical [`Prefix`] keys always diverge below
+/// their common prefix) are *true* for every key the canonicalizing
+/// `Prefix` type can represent, and are asserted with `debug_assert!` at
+/// their sites. The fallible entry points ([`RadixTree::try_insert`],
+/// [`PrefixMap::try_insert`]) exist so callers feeding the trie from
+/// *untrusted* serialized data — a BGP routing snapshot attributing
+/// ASNs, a persisted tree — get a structured error instead of a panic if
+/// an invariant is ever observed broken (memory corruption, a future
+/// non-canonical key type): the ASN-attribution path must never abort
+/// the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrieError {
+    /// An occupied slot was observed empty (or vice versa) during a
+    /// restructure — the tree no longer matches its own bookkeeping.
+    StructureCorrupt {
+        /// The key being inserted when the corruption was observed.
+        prefix: Prefix,
+        /// The operation that observed it.
+        site: &'static str,
+    },
+    /// Insertion descended more levels than a 128-bit key space permits
+    /// — only possible if node prefixes stopped strictly lengthening.
+    DepthExceeded {
+        /// The key being inserted.
+        prefix: Prefix,
+    },
+}
+
+impl TrieError {
+    /// A stable short label per variant, for reports and tests.
+    pub const fn label(&self) -> &'static str {
+        match self {
+            TrieError::StructureCorrupt { .. } => "structure-corrupt",
+            TrieError::DepthExceeded { .. } => "depth-exceeded",
+        }
+    }
+}
+
+impl fmt::Display for TrieError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrieError::StructureCorrupt { prefix, site } => {
+                write!(f, "trie structure corrupt inserting {prefix} ({site})")
+            }
+            TrieError::DepthExceeded { prefix } => {
+                write!(f, "trie depth exceeded 128 bits inserting {prefix}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrieError {}
+
+/// Descent depth at which [`TrieError::DepthExceeded`] fires: one level
+/// per key bit, plus the root and one restructure re-entry.
+const MAX_DEPTH: u16 = 130;
 
 /// A dense prefix reported by [`RadixTree::densify`] or
 /// [`crate::dense_prefixes_at`]: the block and the number of observed
@@ -30,6 +91,24 @@ impl DensePrefix {
             None => 0.0,
         }
     }
+}
+
+/// Outcome of [`RadixTree::densify_budgeted`]: the dense prefixes plus an
+/// account of whether (and how far) the node budget forced the tree to a
+/// coarser aggregation level before densify ran.
+#[derive(Clone, Debug)]
+pub struct BudgetedDensify {
+    /// The dense prefixes found (possibly at coarser levels than an
+    /// unbudgeted run would report).
+    pub dense: Vec<DensePrefix>,
+    /// True when the budget was hit and the tree was aggregated.
+    pub degraded: bool,
+    /// Node count before any budget action.
+    pub nodes_before: usize,
+    /// Node count densify actually ran against.
+    pub nodes_after: usize,
+    /// Nodes folded away to satisfy the budget.
+    pub folded: usize,
 }
 
 struct Node {
@@ -98,6 +177,29 @@ impl RadixTree {
         self.nodes
     }
 
+    /// Estimated heap footprint: node count × per-node allocation size.
+    /// Ignores allocator slack, so treat it as a lower bound; the
+    /// supervisor's budgets are expressed in nodes and use this only for
+    /// reporting.
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes * std::mem::size_of::<Node>()
+    }
+
+    /// Inserts a host address and, when the tree has grown past
+    /// `max_nodes`, immediately aggregates back down to half the cap —
+    /// the aguri steady-state pattern for unbounded streams. Returns the
+    /// number of nodes folded (0 when the budget was not hit).
+    ///
+    /// A `max_nodes` of 0 means "no budget".
+    pub fn insert_addr_capped(&mut self, a: Addr, count: u64, max_nodes: usize) -> usize {
+        self.insert_addr(a, count);
+        if max_nodes > 0 && self.nodes > max_nodes {
+            self.aggregate_to_size((max_nodes / 2).max(1))
+        } else {
+            0
+        }
+    }
+
     /// Inserts a host address with the given count (step 1 of §5.2.3).
     pub fn insert_addr(&mut self, a: Addr, count: u64) {
         self.insert(Prefix::host(a), count);
@@ -105,62 +207,127 @@ impl RadixTree {
 
     /// Inserts a prefix with the given count, accumulating when the exact
     /// prefix is already present.
+    ///
+    /// The fallible twin is [`RadixTree::try_insert`]; the error paths
+    /// are unreachable for keys of the canonicalizing [`Prefix`] type,
+    /// so this infallible form asserts them away in debug builds and, in
+    /// release builds, preserves the inserted count by planting the key
+    /// at the root rather than panicking.
     pub fn insert(&mut self, p: Prefix, count: u64) {
-        self.total += count;
-        let mut created = 0usize;
-        Self::insert_into(&mut self.root, p, count, &mut created);
-        self.nodes += created;
+        if let Err(e) = self.try_insert(p, count) {
+            // INVARIANT: `Prefix` is always canonical, which makes every
+            // `TrieError` path unreachable (see `TrieError` docs).
+            debug_assert!(false, "insert({p}, {count}): {e}");
+            // Recovery without data loss: account the count at ::/0.
+            self.total += count;
+            if let Some(root) = &mut self.root {
+                if root.prefix == Prefix::ALL {
+                    root.count += count;
+                    return;
+                }
+            }
+            let mut fresh = Node::leaf(Prefix::ALL, count);
+            fresh.children = [self.root.take(), None];
+            self.root = Some(fresh);
+            self.nodes += 1;
+        }
     }
 
-    fn insert_into(slot: &mut Option<Box<Node>>, p: Prefix, count: u64, created: &mut usize) {
+    /// Inserts a prefix with the given count, reporting (instead of
+    /// panicking on) a broken structural invariant — the entry point for
+    /// trees built from untrusted serialized data.
+    pub fn try_insert(&mut self, p: Prefix, count: u64) -> Result<(), TrieError> {
+        let mut created = 0usize;
+        let result = Self::insert_into(&mut self.root, p, count, &mut created, 0);
+        // Created nodes stay in the tree even on an error path; account
+        // them either way so `node_count` never drifts from reality.
+        self.nodes += created;
+        result?;
+        self.total += count;
+        Ok(())
+    }
+
+    fn insert_into(
+        slot: &mut Option<Box<Node>>,
+        p: Prefix,
+        count: u64,
+        created: &mut usize,
+        depth: u16,
+    ) -> Result<(), TrieError> {
+        if depth > MAX_DEPTH {
+            return Err(TrieError::DepthExceeded { prefix: p });
+        }
         let node = match slot {
             None => {
                 *slot = Some(Node::leaf(p, count));
                 *created += 1;
-                return;
+                return Ok(());
             }
             Some(n) => n,
         };
 
         if node.prefix == p {
             node.count += count;
-            return;
+            return Ok(());
         }
 
         if node.prefix.contains(p) {
             // Descend: branch on the first bit of p beyond node's prefix.
             let bit = p.addr().bit(node.prefix.len() as usize) as usize;
-            Self::insert_into(&mut node.children[bit], p, count, created);
-            return;
+            return Self::insert_into(&mut node.children[bit], p, count, created, depth + 1);
         }
 
-        if p.contains(node.prefix) {
+        // Below here the node at `slot` is replaced; take it by value.
+        // The match above proved the slot occupied and no code path has
+        // emptied it since, so `take()` observing `None` means the tree
+        // disagrees with itself.
+        let Some(old) = slot.take() else {
+            debug_assert!(false, "occupied slot empty during restructure");
+            return Err(TrieError::StructureCorrupt {
+                prefix: p,
+                site: "insert/restructure",
+            });
+        };
+
+        if p.contains(old.prefix) {
             // p is an ancestor of the current node: splice a new node in.
-            let old = slot.take().expect("checked above");
             let bit = old.prefix.addr().bit(p.len() as usize) as usize;
             let mut new_node = Node::leaf(p, count);
             new_node.children[bit] = Some(old);
             *slot = Some(new_node);
             *created += 1;
-            return;
+            return Ok(());
         }
 
         // Divergence: create a branch node at the longest common prefix.
+        // Equality and containment in both directions were excluded
+        // above, so cpl is strictly shorter than both keys and — keys
+        // being canonical — the next bit of each differs.
         let cpl = p
             .addr()
-            .common_prefix_len(node.prefix.addr())
+            .common_prefix_len(old.prefix.addr())
             .min(p.len())
-            .min(node.prefix.len());
+            .min(old.prefix.len());
         let branch_prefix = Prefix::new(p.addr(), cpl);
-        let old = slot.take().expect("checked above");
         let old_bit = old.prefix.addr().bit(cpl as usize) as usize;
         let new_bit = p.addr().bit(cpl as usize) as usize;
         debug_assert_ne!(old_bit, new_bit, "divergence must separate the keys");
+        if old_bit == new_bit {
+            // Release-build recovery: installing both subtrees on one
+            // side would drop `old` silently. Restore and report.
+            let prefix_err = old.prefix;
+            *slot = Some(old);
+            return Err(TrieError::StructureCorrupt {
+                prefix: prefix_err,
+                site: "insert/divergence",
+            });
+        }
         let mut branch = Node::leaf(branch_prefix, 0);
         branch.children[old_bit] = Some(old);
         branch.children[new_bit] = Some(Node::leaf(p, count));
         *slot = Some(branch);
         *created += 2;
+        Ok(())
     }
 
     /// The count stored at exactly this prefix (0 when absent).
@@ -393,9 +560,13 @@ impl RadixTree {
                 if node.count == 0 {
                     let kids: Vec<usize> = (0..2).filter(|&i| node.children[i].is_some()).collect();
                     if kids.len() == 1 {
-                        let only = node.children[kids[0]].take().expect("checked");
-                        *slot = Some(only);
-                        *removed += 1;
+                        // The filter above proved this child occupied; the
+                        // `if let` makes a (impossible) miss a no-op splice
+                        // rather than a panic.
+                        if let Some(only) = node.children[kids[0]].take() {
+                            *slot = Some(only);
+                            *removed += 1;
+                        }
                     }
                 }
                 0
@@ -414,6 +585,33 @@ impl RadixTree {
             self.nodes -= removed;
         }
         start - self.nodes
+    }
+
+    /// [`RadixTree::densify`] under an explicit node budget — the
+    /// degraded-mode path of the supervised engine. When the tree holds
+    /// more than `max_nodes` nodes it is first folded with
+    /// [`RadixTree::aggregate_to_size`] (which conserves subtree sums),
+    /// then densify runs on the folded tree.
+    ///
+    /// Degradation is *sound* for the paper's n@/p semantics: folding
+    /// moves counts to ancestor prefixes, so every reported block still
+    /// contains at least its reported number of truly observed addresses
+    /// — results are correct for a coarser question, never wrong.
+    /// A `max_nodes` of 0 means "no budget" (identical to `densify`).
+    pub fn densify_budgeted(&mut self, n: u64, p: u8, max_nodes: usize) -> BudgetedDensify {
+        let nodes_before = self.nodes;
+        let folded = if max_nodes > 0 && self.nodes > max_nodes {
+            self.aggregate_to_size(max_nodes)
+        } else {
+            0
+        };
+        BudgetedDensify {
+            dense: self.densify(n, p),
+            degraded: folded > 0,
+            nodes_before,
+            nodes_after: self.nodes,
+            folded,
+        }
     }
 
     /// Classic aguri aggregation (Cho et al.): counts below
@@ -500,19 +698,45 @@ impl<T> PrefixMap<T> {
     }
 
     /// Inserts or replaces the value at `p`; returns the previous value.
+    ///
+    /// The fallible twin is [`PrefixMap::try_insert`]; with canonical
+    /// [`Prefix`] keys the error paths are unreachable, so this form
+    /// asserts them away in debug builds and drops the value (returning
+    /// `None`) rather than panicking in release builds.
     pub fn insert(&mut self, p: Prefix, value: T) -> Option<T> {
-        let slot = Self::slot_for(&mut self.root, p);
-        let node = slot.as_mut().expect("slot_for always materializes");
+        match self.try_insert(p, value) {
+            Ok(old) => old,
+            Err(e) => {
+                // INVARIANT: unreachable for canonical keys, see TrieError.
+                debug_assert!(false, "insert({p}): {e}");
+                None
+            }
+        }
+    }
+
+    /// Inserts or replaces the value at `p`, reporting (instead of
+    /// panicking on) a broken structural invariant. This is the entry
+    /// point for maps built from untrusted serialized data — a BGP
+    /// routing snapshot must not be able to abort ASN attribution.
+    pub fn try_insert(&mut self, p: Prefix, value: T) -> Result<Option<T>, TrieError> {
+        let node = Self::slot_for(&mut self.root, p, 0)?;
         let old = node.value.replace(value);
         if old.is_none() {
             self.len += 1;
         }
-        old
+        Ok(old)
     }
 
     /// Materializes a node for `p` using the same split logic as the
-    /// counting tree, then returns the slot holding it.
-    fn slot_for(slot: &mut Option<Box<MapNode<T>>>, p: Prefix) -> &mut Option<Box<MapNode<T>>> {
+    /// counting tree, then returns it.
+    fn slot_for(
+        slot: &mut Option<Box<MapNode<T>>>,
+        p: Prefix,
+        depth: u16,
+    ) -> Result<&mut MapNode<T>, TrieError> {
+        if depth > MAX_DEPTH {
+            return Err(TrieError::DepthExceeded { prefix: p });
+        }
         // Decide on the structural action with a shared borrow, then act.
         enum Action {
             Create,
@@ -537,22 +761,34 @@ impl<T> PrefixMap<T> {
                 Action::Branch(Prefix::new(p.addr(), cpl))
             }
         };
+        // Each occupied-slot arm re-observes the slot; the action match
+        // above proved occupancy and nothing has touched the slot since,
+        // so a miss means the structure changed under us.
+        let corrupt = |site: &'static str| TrieError::StructureCorrupt { prefix: p, site };
         match action {
-            Action::Create => {
-                *slot = Some(Box::new(MapNode {
+            Action::Create => Ok(slot.get_or_insert_with(|| {
+                Box::new(MapNode {
                     prefix: p,
                     value: None,
                     children: [None, None],
-                }));
-                slot
+                })
+            })),
+            Action::Found => {
+                debug_assert!(slot.is_some(), "found node vanished");
+                slot.as_deref_mut().ok_or_else(|| corrupt("map/found"))
             }
-            Action::Found => slot,
-            Action::Descend(bit) => Self::slot_for(
-                &mut slot.as_mut().expect("descend needs node").children[bit],
-                p,
-            ),
+            Action::Descend(bit) => {
+                let Some(node) = slot.as_deref_mut() else {
+                    debug_assert!(false, "descend node vanished");
+                    return Err(corrupt("map/descend"));
+                };
+                Self::slot_for(&mut node.children[bit], p, depth + 1)
+            }
             Action::SpliceAbove => {
-                let old = slot.take().expect("splice needs node");
+                let Some(old) = slot.take() else {
+                    debug_assert!(false, "splice node vanished");
+                    return Err(corrupt("map/splice"));
+                };
                 let bit = old.prefix.addr().bit(p.len() as usize) as usize;
                 let mut new_node = Box::new(MapNode {
                     prefix: p,
@@ -561,10 +797,13 @@ impl<T> PrefixMap<T> {
                 });
                 new_node.children[bit] = Some(old);
                 *slot = Some(new_node);
-                slot
+                slot.as_deref_mut().ok_or_else(|| corrupt("map/splice"))
             }
             Action::Branch(branch_prefix) => {
-                let old = slot.take().expect("branch needs node");
+                let Some(old) = slot.take() else {
+                    debug_assert!(false, "branch node vanished");
+                    return Err(corrupt("map/branch"));
+                };
                 let old_bit = old.prefix.addr().bit(branch_prefix.len() as usize) as usize;
                 let mut branch = Box::new(MapNode {
                     prefix: branch_prefix,
@@ -573,8 +812,10 @@ impl<T> PrefixMap<T> {
                 });
                 branch.children[old_bit] = Some(old);
                 *slot = Some(branch);
-                // The branch now strictly contains p: recurse to create it.
-                Self::slot_for(slot, p)
+                // The branch now strictly contains p: recurse to create
+                // it. A non-canonical key that kept colliding with the
+                // restored subtree is caught by the depth guard.
+                Self::slot_for(slot, p, depth + 1)
             }
         }
     }
@@ -885,6 +1126,118 @@ mod tests {
         let e = rt.entries();
         assert_eq!(e.len(), 1);
         assert_eq!(e[0].0, p("2001:db8::/32"));
+    }
+
+    #[test]
+    fn try_insert_is_infallible_for_canonical_prefixes() {
+        let mut t = RadixTree::new();
+        for s in ["2001:db8::1", "2001:db8::4", "2400::1", "::"] {
+            t.try_insert(Prefix::host(a(s)), 1).unwrap();
+        }
+        t.try_insert(p("::/0"), 2).unwrap();
+        t.try_insert(p("2001:db8::/32"), 3).unwrap();
+        assert_eq!(t.total(), 9);
+
+        let mut rt: PrefixMap<u32> = PrefixMap::new();
+        assert_eq!(rt.try_insert(p("2001:db8::/32"), 1).unwrap(), None);
+        assert_eq!(rt.try_insert(p("2001:db8::/32"), 2).unwrap(), Some(1));
+        rt.try_insert(p("::/0"), 0).unwrap();
+        rt.try_insert(p("2001:db8:ff::/48"), 3).unwrap();
+        assert_eq!(rt.len(), 3);
+        assert_eq!(
+            rt.longest_match(a("2001:db8:ff::9")).map(|(_, v)| *v),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn trie_error_labels_and_display() {
+        let e = TrieError::StructureCorrupt {
+            prefix: p("2001:db8::/32"),
+            site: "test",
+        };
+        assert_eq!(e.label(), "structure-corrupt");
+        assert!(e.to_string().contains("2001:db8::/32"));
+        let d = TrieError::DepthExceeded {
+            prefix: p("::/128"),
+        };
+        assert_eq!(d.label(), "depth-exceeded");
+        assert!(d.to_string().contains("depth"));
+    }
+
+    #[test]
+    fn approx_bytes_tracks_node_count() {
+        let mut t = RadixTree::new();
+        assert_eq!(t.approx_bytes(), 0);
+        t.insert_addr(a("2001:db8::1"), 1);
+        let one = t.approx_bytes();
+        assert!(one > 0);
+        t.insert_addr(a("2400::1"), 1);
+        assert!(t.approx_bytes() > one);
+        assert_eq!(t.approx_bytes() % t.node_count(), 0);
+    }
+
+    #[test]
+    fn densify_budgeted_degrades_but_stays_sound() {
+        let mut t = RadixTree::new();
+        for i in 0..1024u128 {
+            t.insert_addr(Addr(a("2001:db8::").0 | (i * 7)), 1);
+        }
+        let nodes = t.node_count();
+        assert!(nodes > 100);
+
+        // No budget: identical to plain densify.
+        let mut clone = RadixTree::new();
+        for i in 0..1024u128 {
+            clone.insert_addr(Addr(a("2001:db8::").0 | (i * 7)), 1);
+        }
+        let unbudgeted = clone.densify(16, 112);
+        let free = t.densify_budgeted(16, 112, 0);
+        assert!(!free.degraded);
+        assert_eq!(free.folded, 0);
+        assert_eq!(free.dense, unbudgeted);
+
+        // Tight budget: tree folds, results degrade to coarser blocks
+        // but every reported block still holds >= its reported count of
+        // real observations, and counts stay conserved.
+        let mut capped = RadixTree::new();
+        for i in 0..1024u128 {
+            capped.insert_addr(Addr(a("2001:db8::").0 | (i * 7)), 1);
+        }
+        let total = capped.total();
+        let b = capped.densify_budgeted(16, 112, 64);
+        assert!(b.degraded);
+        assert!(b.folded > 0);
+        assert!(b.nodes_after < b.nodes_before);
+        assert_eq!(capped.total(), total, "budget must conserve counts");
+        for d in &b.dense {
+            assert!(d.count >= 16, "n floor must hold under degradation");
+            assert!(
+                capped.count_within(d.prefix) >= d.count,
+                "reported count must be a real observed count"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_addr_capped_bounds_growth() {
+        let mut t = RadixTree::new();
+        let mut folded_total = 0usize;
+        for i in 0..5_000u128 {
+            folded_total += t.insert_addr_capped(Addr(a("2a00::").0 | (i * 0x1_0001)), 1, 256);
+        }
+        assert!(folded_total > 0, "cap must have fired");
+        assert!(
+            t.node_count() <= 256 + 2,
+            "steady state must respect the cap, got {}",
+            t.node_count()
+        );
+        assert_eq!(t.total(), 5_000, "capped ingestion conserves counts");
+        // Unbudgeted path never folds.
+        let mut free = RadixTree::new();
+        for i in 0..500u128 {
+            assert_eq!(free.insert_addr_capped(Addr(i << 80), 1, 0), 0);
+        }
     }
 
     #[test]
