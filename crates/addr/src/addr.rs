@@ -1,5 +1,6 @@
 //! The [`Addr`] type: a 128-bit IPv6 address.
 
+use crate::cast::{checked_nybble, checked_seg, checked_u16, checked_u32, checked_u8};
 use crate::ParseError;
 use std::fmt;
 use std::net::Ipv6Addr;
@@ -57,14 +58,14 @@ impl Addr {
     pub const fn segments(self) -> [u16; 8] {
         let v = self.0;
         [
-            (v >> 112) as u16,
-            (v >> 96) as u16,
-            (v >> 80) as u16,
-            (v >> 64) as u16,
-            (v >> 48) as u16,
-            (v >> 32) as u16,
-            (v >> 16) as u16,
-            v as u16,
+            checked_seg(v >> 112),
+            checked_seg((v >> 96) & 0xffff),
+            checked_seg((v >> 80) & 0xffff),
+            checked_seg((v >> 64) & 0xffff),
+            checked_seg((v >> 48) & 0xffff),
+            checked_seg((v >> 32) & 0xffff),
+            checked_seg((v >> 16) & 0xffff),
+            checked_seg(v & 0xffff),
         ]
     }
 
@@ -74,7 +75,7 @@ impl Addr {
     /// Panics if `i >= 8`.
     pub const fn segment(self, i: usize) -> u16 {
         assert!(i < 8, "segment index out of range");
-        (self.0 >> (112 - 16 * i)) as u16
+        checked_seg((self.0 >> (112 - 16 * i)) & 0xffff)
     }
 
     /// Returns nybble (hex character) `i` (0..32), nybble 0 most significant.
@@ -83,7 +84,7 @@ impl Addr {
     /// Panics if `i >= 32`.
     pub const fn nybble(self, i: usize) -> u8 {
         assert!(i < 32, "nybble index out of range");
-        ((self.0 >> (124 - 4 * i)) & 0xf) as u8
+        checked_nybble((self.0 >> (124 - 4 * i)) & 0xf)
     }
 
     /// Returns bit `i` (0..128) as 0 or 1; bit 0 is the most significant.
@@ -92,7 +93,7 @@ impl Addr {
     /// Panics if `i >= 128`.
     pub const fn bit(self, i: usize) -> u8 {
         assert!(i < 128, "bit index out of range");
-        ((self.0 >> (127 - i)) & 1) as u8
+        checked_u8((self.0 >> (127 - i)) & 1)
     }
 
     /// Returns a copy with bit `i` set to `v` (0 or 1); bit 0 is the most
@@ -130,27 +131,28 @@ impl Addr {
         if len == 0 {
             Addr(0)
         } else {
-            Addr(self.0 & (u128::MAX << (128 - len as u32)))
+            // `128 - len` stays in u8 (len <= 128 is asserted above);
+            // shifting u128 by u8 is lossless, no widening cast needed.
+            Addr(self.0 & (u128::MAX << (128 - len)))
         }
     }
 
     /// Length of the longest common prefix of `self` and `other`, in bits
     /// (0..=128).
     pub const fn common_prefix_len(self, other: Addr) -> u8 {
-        (self.0 ^ other.0).leading_zeros() as u8
+        checked_u8((self.0 ^ other.0).leading_zeros() as u128)
     }
 
     /// Interprets segments 1..3 (bits 16–48) as an embedded IPv4 address,
     /// as in 6to4 (`2002:AABB:CCDD::/48`).
     pub const fn v4_in_6to4(self) -> [u8; 4] {
-        let v = (self.0 >> 80) as u32;
-        v.to_be_bytes()
+        checked_u32((self.0 >> 80) & 0xffff_ffff).to_be_bytes()
     }
 
     /// Interprets the low 32 bits as an embedded IPv4 address, as in
     /// ISATAP and many ad hoc schemes.
     pub const fn v4_in_low32(self) -> [u8; 4] {
-        (self.0 as u32).to_be_bytes()
+        checked_u32(self.0 & 0xffff_ffff).to_be_bytes()
     }
 
     /// Conversion to the standard library type (used in tests as a parsing
@@ -175,9 +177,11 @@ impl Addr {
     /// `ip6.arpa` (RFC 3596 §2.5): 32 nybbles in reverse order,
     /// dot-separated, e.g. `1.0.0.0…8.b.d.0.1.0.0.2.ip6.arpa`.
     pub fn to_ip6_arpa(self) -> String {
+        const HEX: &[u8; 16] = b"0123456789abcdef";
         let mut out = String::with_capacity(72);
         for i in (0..32).rev() {
-            out.push(char::from_digit(self.nybble(i) as u32, 16).expect("nybble < 16"));
+            // nybble() returns 0..=15, so the table lookup is total.
+            out.push(char::from(HEX[usize::from(self.nybble(i)) & 0xf]));
             out.push('.');
         }
         out.push_str("ip6.arpa");
@@ -343,9 +347,9 @@ fn parse_groups(s: &str, out: &mut Vec<u16>, _full_form: bool) -> Result<(), Par
             if idx != parts.len() - 1 {
                 return Err(ParseError::BadIpv4Tail);
             }
-            let v4 = parse_v4(part)?;
-            out.push(((v4[0] as u16) << 8) | v4[1] as u16);
-            out.push(((v4[2] as u16) << 8) | v4[3] as u16);
+            let [o0, o1, o2, o3] = parse_v4(part)?;
+            out.push((u16::from(o0) << 8) | u16::from(o1));
+            out.push((u16::from(o2) << 8) | u16::from(o3));
             return Ok(());
         }
         if part.len() > 4 {
@@ -353,8 +357,8 @@ fn parse_groups(s: &str, out: &mut Vec<u16>, _full_form: bool) -> Result<(), Par
         }
         let mut g: u16 = 0;
         for c in part.chars() {
-            let d = c.to_digit(16).ok_or(ParseError::InvalidCharacter(c))? as u16;
-            g = (g << 4) | d;
+            let d = c.to_digit(16).ok_or(ParseError::InvalidCharacter(c))?;
+            g = (g << 4) | checked_u16(u128::from(d));
         }
         out.push(g);
     }
@@ -374,13 +378,13 @@ fn parse_v4(s: &str) -> Result<[u8; 4], ParseError> {
         }
         let mut v: u16 = 0;
         for c in part.chars() {
-            let d = c.to_digit(10).ok_or(ParseError::BadIpv4Tail)? as u16;
-            v = v * 10 + d;
+            let d = c.to_digit(10).ok_or(ParseError::BadIpv4Tail)?;
+            v = v * 10 + checked_u16(u128::from(d));
             if v > 255 {
                 return Err(ParseError::BadIpv4Tail);
             }
         }
-        octets[n] = v as u8;
+        octets[n] = checked_u8(u128::from(v));
         n += 1;
     }
     if n != 4 {

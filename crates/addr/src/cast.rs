@@ -1,0 +1,113 @@
+//! Checked narrowing casts for bit/nybble math.
+//!
+//! The workspace's cast-safety contract (lint rule `L003`) bans raw
+//! `as u8/u16/u32/usize` in the address and trie crates: a raw `as`
+//! silently truncates, and in 128-bit address arithmetic a silent
+//! truncation is a wrong-answer bug, not a crash. These helpers are the
+//! sanctioned narrowing path: each `debug_assert!`s that the value fits
+//! the target type, so a masking mistake fails loudly under tests and
+//! fuzzing while release builds pay nothing.
+//!
+//! Callers narrow in two steps that make the intent auditable:
+//!
+//! * widening or same-width moves use the standard lossless
+//!   `u16::from` / `u32::from` / `usize::from`;
+//! * genuinely narrowing moves mask first, then call `checked_*`:
+//!   `checked_u8(v & 0xf)` — the mask proves the range, the helper
+//!   enforces it.
+//!
+//! Every helper is a `const fn` taking `u128` (the widest type in the
+//! workspace) so the address accessors, which are `const`, can use them;
+//! widen the argument with `u128::from` or a lossless `as u128`.
+
+/// Narrows to `u8`, debug-asserting the value fits.
+#[inline]
+#[must_use]
+pub const fn checked_u8(v: u128) -> u8 {
+    debug_assert!(v <= u8::MAX as u128, "checked_u8 truncates");
+    // lint: allow(L003, reason = "the one sanctioned narrowing site; guarded by the debug_assert above")
+    (v & 0xff) as u8
+}
+
+/// Narrows to `u16`, debug-asserting the value fits. 16-bit values are
+/// the paper's "segment" resolution, hence the alias [`checked_seg`].
+#[inline]
+#[must_use]
+pub const fn checked_u16(v: u128) -> u16 {
+    debug_assert!(v <= u16::MAX as u128, "checked_u16 truncates");
+    // lint: allow(L003, reason = "the one sanctioned narrowing site; guarded by the debug_assert above")
+    (v & 0xffff) as u16
+}
+
+/// Narrows to `u32`, debug-asserting the value fits.
+#[inline]
+#[must_use]
+pub const fn checked_u32(v: u128) -> u32 {
+    debug_assert!(v <= u32::MAX as u128, "checked_u32 truncates");
+    // lint: allow(L003, reason = "the one sanctioned narrowing site; guarded by the debug_assert above")
+    (v & 0xffff_ffff) as u32
+}
+
+/// Narrows to `usize`, debug-asserting the value fits (it always does
+/// on the 64-bit targets this workspace supports, but the contract is
+/// explicit rather than assumed).
+#[inline]
+#[must_use]
+pub const fn checked_usize(v: u128) -> usize {
+    debug_assert!(v <= usize::MAX as u128, "checked_usize truncates");
+    // lint: allow(L003, reason = "the one sanctioned narrowing site; guarded by the debug_assert above")
+    v as usize
+}
+
+/// Extracts a 4-bit nybble value as `u8`. The caller masks; this is
+/// `checked_u8` with a tighter bound that documents the 4-bit intent at
+/// the nybble resolution of the Multi-Resolution Aggregate analysis.
+#[inline]
+#[must_use]
+pub const fn checked_nybble(v: u128) -> u8 {
+    debug_assert!(v <= 0xf, "checked_nybble: not a nybble");
+    checked_u8(v)
+}
+
+/// Extracts a 16-bit segment value as `u16` (alias of [`checked_u16`]
+/// named for the segment resolution).
+#[inline]
+#[must_use]
+pub const fn checked_seg(v: u128) -> u16 {
+    checked_u16(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_values_pass_through() {
+        assert_eq!(checked_u8(0xff), 0xff);
+        assert_eq!(checked_u16(0xffff), 0xffff);
+        assert_eq!(checked_u32(0xffff_ffff), 0xffff_ffff);
+        assert_eq!(checked_usize(42), 42);
+        assert_eq!(checked_nybble(0xf), 0xf);
+        assert_eq!(checked_seg(0x2001), 0x2001);
+    }
+
+    #[test]
+    fn works_in_const_context() {
+        const SEG: u16 = checked_seg(0x2001);
+        assert_eq!(SEG, 0x2001);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncates")]
+    #[cfg(debug_assertions)]
+    fn truncation_fails_loudly_in_debug() {
+        let _ = checked_u8(0x100);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a nybble")]
+    #[cfg(debug_assertions)]
+    fn nybble_range_is_enforced() {
+        let _ = checked_nybble(0x10);
+    }
+}

@@ -7,6 +7,7 @@
 //! assignment, and apparent randomness typical of RFC 4941 privacy
 //! addresses.
 
+use crate::cast::{checked_nybble, checked_u32, checked_u8};
 use crate::{Addr, Mac};
 
 /// A 64-bit interface identifier extracted from an address, with
@@ -37,7 +38,7 @@ impl Iid {
     /// signature in the paper (§5.2.1, Figure 2a) is the per-bit
     /// aggregation ratio dipping to ~1 exactly at this bit.
     pub const fn u_bit(self) -> u8 {
-        ((self.0 >> 57) & 1) as u8
+        checked_u8(((self.0 >> 57) & 1) as u128)
     }
 
     /// True when the IID is "low": at most the bottom 16 bits are used.
@@ -56,7 +57,7 @@ impl Iid {
     /// Meaningful for ISATAP (`::[02]00:5efe:a.b.c.d`) and the ad hoc
     /// dual-stack conventions of §3.
     pub const fn low32_as_v4(self) -> [u8; 4] {
-        (self.0 as u32).to_be_bytes()
+        checked_u32((self.0 & 0xffff_ffff) as u128).to_be_bytes()
     }
 
     /// True when the IID matches the ISATAP format (RFC 5214 §6.1):
@@ -93,11 +94,12 @@ pub fn embedded_ipv4(a: Addr) -> Option<[u8; 4]> {
         return None;
     }
     let v4 = iid.low32_as_v4();
-    let plausible = match v4[0] {
+    let [o0, o1, _, _] = v4;
+    let plausible = match o0 {
         0 | 10 | 127 => false,
-        169 if v4[1] == 254 => false,
-        172 if (16..=31).contains(&v4[1]) => false,
-        192 if v4[1] == 168 => false,
+        169 if o1 == 254 => false,
+        172 if (16..=31).contains(&o1) => false,
+        192 if o1 == 168 => false,
         x if x >= 224 => false,
         _ => true,
     };
@@ -130,8 +132,8 @@ pub fn iid_entropy_bits(iid: Iid) -> f64 {
     let mut transitions = 0u32;
     let mut prev: Option<u8> = None;
     for i in 0..16 {
-        let n = ((iid.0 >> (60 - 4 * i)) & 0xf) as u8;
-        counts[n as usize] += 1;
+        let n = checked_nybble(((iid.0 >> (60 - 4 * i)) & 0xf) as u128);
+        counts[usize::from(n)] += 1;
         if let Some(p) = prev {
             if p != n {
                 transitions += 1;

@@ -1,8 +1,15 @@
 //! 48-bit MAC addresses and the modified EUI-64 interface-identifier
 //! encoding used by SLAAC (RFC 4291 §2.5.1, RFC 4862).
 
+use crate::cast::{checked_u32, checked_u8};
 use std::fmt;
 use std::str::FromStr;
+
+/// Extracts the byte at `shift` from a packed integer — the crate's
+/// checked-narrowing idiom for the EUI-64 bit shuffles below.
+const fn byte(v: u64, shift: u32) -> u8 {
+    checked_u8(((v >> shift) & 0xff) as u128)
+}
 
 /// A 48-bit IEEE 802 MAC address.
 ///
@@ -25,29 +32,32 @@ impl Mac {
     pub const fn from_oui_nic(oui: u32, nic: u32) -> Mac {
         assert!(oui <= 0xff_ffff && nic <= 0xff_ffff);
         Mac([
-            (oui >> 16) as u8,
-            (oui >> 8) as u8,
-            oui as u8,
-            (nic >> 16) as u8,
-            (nic >> 8) as u8,
-            nic as u8,
+            byte(oui as u64, 16),
+            byte(oui as u64, 8),
+            byte(oui as u64, 0),
+            byte(nic as u64, 16),
+            byte(nic as u64, 8),
+            byte(nic as u64, 0),
         ])
     }
 
     /// The Organizationally Unique Identifier (first 24 bits).
     pub const fn oui(self) -> u32 {
-        ((self.0[0] as u32) << 16) | ((self.0[1] as u32) << 8) | self.0[2] as u32
+        let [m0, m1, m2, _, _, _] = self.0;
+        checked_u32(((m0 as u128) << 16) | ((m1 as u128) << 8) | m2 as u128)
     }
 
     /// True when the universally/locally-administered bit marks this MAC
     /// as locally administered.
     pub const fn is_locally_administered(self) -> bool {
-        self.0[0] & 0x02 != 0
+        let [m0, _, _, _, _, _] = self.0;
+        m0 & 0x02 != 0
     }
 
     /// True when the individual/group bit marks this MAC as multicast.
     pub const fn is_multicast(self) -> bool {
-        self.0[0] & 0x01 != 0
+        let [m0, _, _, _, _, _] = self.0;
+        m0 & 0x01 != 0
     }
 
     /// Encodes this MAC as a modified EUI-64 interface identifier:
@@ -55,16 +65,16 @@ impl Mac {
     /// universal/local ("u") bit is inverted, so a factory-assigned
     /// (universal) MAC yields an IID with the u-bit *set*.
     pub const fn to_modified_eui64(self) -> u64 {
-        let m = self.0;
-        let b0 = m[0] ^ 0x02;
+        let [m0, m1, m2, m3, m4, m5] = self.0;
+        let b0 = m0 ^ 0x02;
         ((b0 as u64) << 56)
-            | ((m[1] as u64) << 48)
-            | ((m[2] as u64) << 40)
+            | ((m1 as u64) << 48)
+            | ((m2 as u64) << 40)
             | (0xff_u64 << 32)
             | (0xfe_u64 << 24)
-            | ((m[3] as u64) << 16)
-            | ((m[4] as u64) << 8)
-            | m[5] as u64
+            | ((m3 as u64) << 16)
+            | ((m4 as u64) << 8)
+            | m5 as u64
     }
 
     /// Decodes a modified EUI-64 interface identifier back to the MAC it
@@ -79,24 +89,24 @@ impl Mac {
             return None;
         }
         Some(Mac([
-            ((iid >> 56) as u8) ^ 0x02,
-            (iid >> 48) as u8,
-            (iid >> 40) as u8,
-            (iid >> 16) as u8,
-            (iid >> 8) as u8,
-            iid as u8,
+            byte(iid, 56) ^ 0x02,
+            byte(iid, 48),
+            byte(iid, 40),
+            byte(iid, 16),
+            byte(iid, 8),
+            byte(iid, 0),
         ]))
     }
 
     /// Returns the MAC as a `u64` in the low 48 bits (useful as a map key).
     pub const fn to_u64(self) -> u64 {
-        let m = self.0;
-        ((m[0] as u64) << 40)
-            | ((m[1] as u64) << 32)
-            | ((m[2] as u64) << 24)
-            | ((m[3] as u64) << 16)
-            | ((m[4] as u64) << 8)
-            | m[5] as u64
+        let [m0, m1, m2, m3, m4, m5] = self.0;
+        ((m0 as u64) << 40)
+            | ((m1 as u64) << 32)
+            | ((m2 as u64) << 24)
+            | ((m3 as u64) << 16)
+            | ((m4 as u64) << 8)
+            | m5 as u64
     }
 
     /// Builds a MAC from the low 48 bits of a `u64`.
@@ -106,12 +116,12 @@ impl Mac {
     pub const fn from_u64(v: u64) -> Mac {
         assert!(v <= 0xffff_ffff_ffff, "MAC exceeds 48 bits");
         Mac([
-            (v >> 40) as u8,
-            (v >> 32) as u8,
-            (v >> 24) as u8,
-            (v >> 16) as u8,
-            (v >> 8) as u8,
-            v as u8,
+            byte(v, 40),
+            byte(v, 32),
+            byte(v, 24),
+            byte(v, 16),
+            byte(v, 8),
+            byte(v, 0),
         ])
     }
 }
@@ -119,12 +129,8 @@ impl Mac {
 impl fmt::Display for Mac {
     /// Colon-separated lower-case hex pairs, e.g. `00:11:22:33:44:56`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let m = self.0;
-        write!(
-            f,
-            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
-            m[0], m[1], m[2], m[3], m[4], m[5]
-        )
+        let [m0, m1, m2, m3, m4, m5] = self.0;
+        write!(f, "{m0:02x}:{m1:02x}:{m2:02x}:{m3:02x}:{m4:02x}:{m5:02x}")
     }
 }
 

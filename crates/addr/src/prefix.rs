@@ -71,7 +71,7 @@ impl Prefix {
         if self.len == 0 {
             None
         } else {
-            Some(1u128 << (128 - self.len as u32))
+            Some(1u128 << (128 - self.len))
         }
     }
 
@@ -80,7 +80,7 @@ impl Prefix {
         if self.len == 0 {
             Addr(u128::MAX)
         } else {
-            Addr(self.addr.0 | (u128::MAX >> self.len as u32))
+            Addr(self.addr.0 | (u128::MAX >> self.len))
         }
     }
 
@@ -118,7 +118,7 @@ impl Prefix {
                 len: self.len + 1,
             };
             let right = Prefix {
-                addr: Addr(self.addr.0 | (1u128 << (127 - self.len as u32))),
+                addr: Addr(self.addr.0 | (1u128 << (127 - self.len))),
                 len: self.len + 1,
             };
             Some((left, right))
@@ -153,7 +153,7 @@ impl Prefix {
         if len > 128 {
             return Err(ParseError::PrefixLengthRange(len));
         }
-        let p = Prefix::new(addr, len as u8);
+        let p = Prefix::new(addr, crate::cast::checked_u8(u128::from(len)));
         if strict && p.addr != addr {
             return Err(ParseError::HostBitsSet);
         }

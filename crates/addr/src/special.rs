@@ -82,7 +82,7 @@ pub fn sixtofour_embedded_v4(a: Addr) -> Option<[u8; 4]> {
 /// (bits 32..64), or `None` when `a` is not Teredo.
 pub fn teredo_server_v4(a: Addr) -> Option<[u8; 4]> {
     if is_teredo(a) {
-        Some((((a.0 >> 64) & 0xffff_ffff) as u32).to_be_bytes())
+        Some(crate::cast::checked_u32((a.0 >> 64) & 0xffff_ffff).to_be_bytes())
     } else {
         None
     }
@@ -92,7 +92,7 @@ pub fn teredo_server_v4(a: Addr) -> Option<[u8; 4]> {
 /// 0xffffffff) in the low 32 bits of a Teredo address.
 pub fn teredo_client_v4(a: Addr) -> Option<[u8; 4]> {
     if is_teredo(a) {
-        Some(((a.0 as u32) ^ 0xffff_ffff).to_be_bytes())
+        Some((crate::cast::checked_u32(a.0 & 0xffff_ffff) ^ 0xffff_ffff).to_be_bytes())
     } else {
         None
     }
@@ -102,7 +102,7 @@ pub fn teredo_client_v4(a: Addr) -> Option<[u8; 4]> {
 /// §4): bit 0x8000 marks a client behind a cone NAT.
 pub fn teredo_flags(a: Addr) -> Option<u16> {
     if is_teredo(a) {
-        Some((a.0 >> 48) as u16)
+        Some(crate::cast::checked_u16((a.0 >> 48) & 0xffff))
     } else {
         None
     }
@@ -112,7 +112,7 @@ pub fn teredo_flags(a: Addr) -> Option<u16> {
 /// the port XOR 0xffff).
 pub fn teredo_client_port(a: Addr) -> Option<u16> {
     if is_teredo(a) {
-        Some(((a.0 >> 32) as u16) ^ 0xffff)
+        Some(crate::cast::checked_u16((a.0 >> 32) & 0xffff) ^ 0xffff)
     } else {
         None
     }

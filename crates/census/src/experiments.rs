@@ -146,7 +146,7 @@ pub fn eui64_analysis(census: &Census, rt: &RoutingTable, first: Day) -> Eui64An
         let mut nets: Vec<u64> = addrs.iter().map(|a| a.network_bits()).collect();
         nets.sort_unstable();
         nets.dedup();
-        if let Some(asn) = rt.asn_of(addrs[0]) {
+        if let Some(asn) = addrs.first().and_then(|&a| rt.asn_of(a)) {
             let e = per_asn.entry(asn).or_default();
             e.1 += 1;
             if nets.len() == 1 {
@@ -286,7 +286,7 @@ pub fn stable_nid_by_mac(
                 best = best.max(cpl.min(64));
             }
         }
-        if let Some(asn) = rt.asn_of(cur_addrs[0]) {
+        if let Some(asn) = cur_addrs.first().and_then(|&a| rt.asn_of(a)) {
             per_asn.entry(asn).or_default().push(best);
         }
     }

@@ -311,7 +311,7 @@ pub fn with_retry<T>(
 /// Parses the leading `YYYY-MM-DD` of a file name.
 pub fn day_from_filename(name: &str) -> Option<Day> {
     let b = name.as_bytes();
-    if b.len() < 10 || b[4] != b'-' || b[7] != b'-' {
+    if b.len() < 10 || b.get(4) != Some(&b'-') || b.get(7) != Some(&b'-') {
         return None;
     }
     let y: i32 = name.get(0..4)?.parse().ok()?;
@@ -816,10 +816,12 @@ impl StreamIngestor {
         errors: Vec<IngestError>,
     ) -> Result<FileReport, IngestError> {
         if self.cfg.mode == ErrorMode::Strict {
-            return Err(errors
-                .last()
-                .cloned()
-                .expect("fail() requires at least one error"));
+            // fail() is always invoked with at least one error; if that
+            // invariant ever broke we fall through to the lenient Failed
+            // report rather than panicking mid-stream.
+            if let Some(e) = errors.last() {
+                return Err(e.clone());
+            }
         }
         Ok(FileReport {
             path: path.to_path_buf(),

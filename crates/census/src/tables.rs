@@ -347,18 +347,17 @@ impl Table3 {
     }
 }
 
-/// Convenience: build both Table 1 granularities from a census that holds
-/// all needed days.
+/// Convenience: build both Table 1 granularities from a census. Epochs
+/// whose reference day was never ingested are skipped in the daily
+/// table (the weekly table tolerates gaps via `week_summary`).
 pub fn table1(census: &Census, epochs: &[EpochSpec]) -> (Table1, Table1) {
     let daily = Table1 {
         granularity: "per day",
         columns: epochs
             .iter()
-            .map(|e| {
-                let s = census
-                    .summary(e.reference)
-                    .expect("epoch day must be ingested");
-                Table1Column::from_summary(e.label.to_string(), s)
+            .filter_map(|e| {
+                let s = census.summary(e.reference)?;
+                Some(Table1Column::from_summary(e.label.to_string(), s))
             })
             .collect(),
     };

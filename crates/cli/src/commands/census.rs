@@ -9,9 +9,11 @@
 //! what happened to every file (and legitimately differs between an
 //! interrupted-then-resumed run and an uninterrupted one); the *run
 //! manifest* section reports what supervision did (wall times make it
-//! nondeterministic); the *analysis* section is a pure function of the
-//! ingested days, so a resumed census — or one at a different `--jobs`
-//! setting — reproduces it byte-for-byte.
+//! nondeterministic, unless `--no-timings` strips them); the *analysis*
+//! section is a pure function of the ingested days, so a resumed census
+//! — or one at a different `--jobs` setting — reproduces it
+//! byte-for-byte. With `--no-timings` the *entire* report is
+//! byte-stable, which the CI determinism job asserts with `diff`.
 //!
 //! The command returns its overall [`Quality`]; `main` maps a non-exact
 //! run to [`crate::EXIT_DEGRADED`] so scripts can tell a clean census
@@ -136,12 +138,23 @@ pub fn census(flags: &Flags) -> Result<(String, Quality), CliError> {
     let run = run_census(std::path::Path::new(&dir), &cfg)
         .map_err(|e| err(format!("ingest failed: {e}")))?;
     let quality = run.overall_quality();
-    Ok((render(&run, &params, &class), quality))
+    let timings = !flags.has("no-timings");
+    Ok((render(&run, &params, &class, timings), quality))
 }
 
 /// Renders the three-section report. Split from [`census`] so tests can
-/// drive it with a hand-built run.
-pub fn render(run: &SupervisedRun, params: &StabilityParams, class: &DensityClass) -> String {
+/// drive it with a hand-built run. With `timings` false the manifest is
+/// rendered via [`RunManifest::render_stable`], making the whole report
+/// a pure function of the ingested data (what `--no-timings` and the CI
+/// determinism job rely on).
+///
+/// [`RunManifest::render_stable`]: v6census_census::supervisor::RunManifest::render_stable
+pub fn render(
+    run: &SupervisedRun,
+    params: &StabilityParams,
+    class: &DensityClass,
+    timings: bool,
+) -> String {
     let report = &run.report;
     let mut out = report.health_report();
     let ingested = report
@@ -162,7 +175,11 @@ pub fn render(run: &SupervisedRun, params: &StabilityParams, class: &DensityClas
         report.files.len()
     );
 
-    out.push_str(&run.manifest.render());
+    out.push_str(&if timings {
+        run.manifest.render()
+    } else {
+        run.manifest.render_stable()
+    });
     out.push('\n');
 
     out.push_str("==== analysis ====\n");

@@ -59,6 +59,8 @@ COMMANDS
                         [--stage-deadline MS] per-stage wall-clock deadline
                         [--max-trie-nodes N] densify node budget (degrade, not die)
                         [--class 8@/64] density class for the dense section
+                        [--no-timings] omit wall clocks from the manifest so
+                          the report is byte-identical across reruns/--jobs
                         [--inject SPEC] analysis fault drill, e.g.
                           panic:densify/2001  hang:stability:60000  slow:ingest:50
   targets               probe-target list from dense prefixes (§6.2.2)

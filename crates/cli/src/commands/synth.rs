@@ -7,13 +7,15 @@ use v6census_synth::{World, WorldConfig};
 
 /// Parses `YYYY-MM-DD`.
 pub(crate) fn parse_day(s: &str) -> Result<Day, CliError> {
-    let parts: Vec<&str> = s.split('-').collect();
-    if parts.len() != 3 {
+    let mut parts = s.split('-');
+    let (Some(ys), Some(ms), Some(ds), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
         return Err(err(format!("bad --day {s:?}; expected YYYY-MM-DD")));
-    }
-    let y: i32 = parts[0].parse().map_err(|_| err("bad year"))?;
-    let m: u8 = parts[1].parse().map_err(|_| err("bad month"))?;
-    let d: u8 = parts[2].parse().map_err(|_| err("bad day"))?;
+    };
+    let y: i32 = ys.parse().map_err(|_| err("bad year"))?;
+    let m: u8 = ms.parse().map_err(|_| err("bad month"))?;
+    let d: u8 = ds.parse().map_err(|_| err("bad day"))?;
     if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
         return Err(err(format!("bad --day {s:?}")));
     }

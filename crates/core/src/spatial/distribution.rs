@@ -36,7 +36,7 @@ impl BoxStats {
             return None;
         }
         let mut v: Vec<f64> = samples.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+        v.sort_by(|a, b| a.total_cmp(b));
         let q = |p: f64| -> f64 {
             // Nearest-rank with linear interpolation between neighbours.
             let rank = p * (v.len() - 1) as f64;
@@ -49,14 +49,15 @@ impl BoxStats {
                 v[lo] * (1.0 - frac) + v[hi] * frac
             }
         };
+        let (&vmin, &vmax) = (v.first()?, v.last()?);
         Some(BoxStats {
-            min: v[0],
+            min: vmin,
             p5: q(0.05),
             p25: q(0.25),
             median: q(0.50),
             p75: q(0.75),
             p95: q(0.95),
-            max: *v.last().expect("nonempty"),
+            max: vmax,
             count: v.len(),
         })
     }

@@ -92,11 +92,12 @@ const MONTH_ABBR: [&str; 12] = [
 
 fn days_in_month(year: i32, month: u8) -> u8 {
     match month {
-        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
         4 | 6 | 9 | 11 => 30,
         2 if is_leap(year) => 29,
         2 => 28,
-        _ => unreachable!("month validated by caller"),
+        // 1/3/5/7/8/10/12 — and, defensively, any out-of-range month the
+        // callers' validation should have rejected.
+        _ => 31,
     }
 }
 

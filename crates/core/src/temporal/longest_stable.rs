@@ -74,9 +74,10 @@ impl StableSpectrum {
     /// the "knee" where dynamic assignment starts.
     pub fn sharpest_drop(&self) -> Option<(u8, f64)> {
         self.points
-            .windows(2)
-            .map(|w| (w[1].0, w[0].2 - w[1].2))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("fractions are finite"))
+            .iter()
+            .zip(self.points.iter().skip(1))
+            .map(|(prev, next)| (next.0, prev.2 - next.2))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 

@@ -283,7 +283,11 @@ impl DailyObservations {
             };
         }
         match policy {
-            GapPolicy::AssumeInactive => unreachable!("handled above"),
+            // Already returned Complete above; kept total for safety.
+            GapPolicy::AssumeInactive => StabilityVerdict {
+                stable: self.stable_on(reference, params),
+                quality: VerdictQuality::Complete,
+            },
             GapPolicy::Flag => StabilityVerdict {
                 stable: self.stable_on(reference, params),
                 quality: VerdictQuality::Unknown { missing },

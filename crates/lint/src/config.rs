@@ -1,0 +1,144 @@
+//! `lint.toml` — rule scopes and rule-specific settings.
+//!
+//! The workspace is deliberately dependency-free, so this is a
+//! hand-rolled parser for the small TOML subset the checked-in config
+//! actually uses: `[section]` headers, `key = "string"`,
+//! `key = ["a", "b"]` string arrays (single- or multi-line), and `#`
+//! comments.
+//! Anything outside that subset is a hard error — better to fail the
+//! lint run than to silently mis-scope a rule.
+
+use std::collections::BTreeMap;
+
+/// Parsed configuration: `section -> key -> values`. Scalars are stored
+/// as one-element value lists.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    sections: BTreeMap<String, BTreeMap<String, Vec<String>>>,
+}
+
+impl Config {
+    /// Parses config text. Errors carry the offending line number.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate();
+        while let Some((i, raw)) = lines.next() {
+            let line_no = i + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                cfg.sections.entry(section.clone()).or_default();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("lint.toml:{line_no}: expected `key = value`"));
+            };
+            // A multi-line array continues until its closing `]`.
+            let mut value = value.trim().to_string();
+            while value.starts_with('[') && !value.ends_with(']') {
+                let Some((j, cont)) = lines.next() else {
+                    return Err(format!("lint.toml:{line_no}: unterminated `[` array"));
+                };
+                let cont = strip_comment(cont).trim();
+                let _ = j;
+                value.push(' ');
+                value.push_str(cont);
+            }
+            let values =
+                parse_value(value.trim()).map_err(|e| format!("lint.toml:{line_no}: {e}"))?;
+            cfg.sections
+                .entry(section.clone())
+                .or_default()
+                .insert(key.trim().to_string(), values);
+        }
+        Ok(cfg)
+    }
+
+    /// The string list at `section.key`, empty when absent.
+    pub fn list(&self, section: &str, key: &str) -> &[String] {
+        self.sections
+            .get(section)
+            .and_then(|s| s.get(key))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// True when `section` exists at all.
+    pub fn has_section(&self, section: &str) -> bool {
+        self.sections.contains_key(section)
+    }
+}
+
+/// Strips a trailing `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Parses `"string"` or `["a", "b"]` into a value list.
+fn parse_value(v: &str) -> Result<Vec<String>, String> {
+    if let Some(inner) = v.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Ok(Vec::new());
+        }
+        inner
+            .split(',')
+            .map(str::trim)
+            .filter(|item| !item.is_empty()) // tolerate a trailing comma
+            .map(parse_string)
+            .collect()
+    } else {
+        Ok(vec![parse_string(v)?])
+    }
+}
+
+/// Parses one double-quoted string (no escape support needed here).
+fn parse_string(s: &str) -> Result<String, String> {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a double-quoted string, got {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_subset() {
+        let cfg = Config::parse(
+            "# top comment\n[rules.L001]\npaths = [\"a/src\", \"b/src\"] # trailing\n\n[rules.L005]\nexit_idents = [\"EXIT_OK\"]\nsingle = \"x\"\n",
+        )
+        .expect("parses");
+        assert_eq!(cfg.list("rules.L001", "paths"), ["a/src", "b/src"]);
+        let multi =
+            Config::parse("[rules.L002]\npaths = [\n    \"x/src\", # one\n    \"y/src\",\n]\n")
+                .expect("multi-line arrays parse");
+        assert_eq!(multi.list("rules.L002", "paths"), ["x/src", "y/src"]);
+        assert_eq!(cfg.list("rules.L005", "exit_idents"), ["EXIT_OK"]);
+        assert_eq!(cfg.list("rules.L005", "single"), ["x"]);
+        assert!(cfg.list("rules.L009", "paths").is_empty());
+        assert!(cfg.has_section("rules.L001"));
+    }
+
+    #[test]
+    fn rejects_what_it_cannot_represent() {
+        assert!(Config::parse("key value\n").is_err());
+        assert!(Config::parse("key = [1, 2]\n").is_err());
+        assert!(Config::parse("key = bare\n").is_err());
+    }
+}

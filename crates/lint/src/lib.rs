@@ -1,0 +1,22 @@
+//! v6census-lint: in-repo static analysis for the v6census workspace.
+//!
+//! The workspace ships contracts that `rustc` and clippy cannot see:
+//! panic-free library paths, byte-for-byte deterministic product
+//! output, lossless bit/nybble casts, a typed error taxonomy, and a
+//! documented process exit-code mapping. This crate enforces them as
+//! five lexical rules (`L001`–`L005`) over comment- and string-blanked
+//! source, with per-line `// lint: allow(<rule>, reason = "...")`
+//! suppression pragmas that are themselves machine-checked (`P000`,
+//! `P001`).
+//!
+//! Run it as `cargo run -p lint -- --workspace` (add `--deny all` in
+//! CI). Rule scopes live in the checked-in `lint.toml`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod report;
+pub mod rules;
+pub mod scan;

@@ -1,0 +1,160 @@
+//! `v6census-lint` — the workspace's static-analysis gate.
+//!
+//! ```text
+//! cargo run -p lint -- --workspace                # human diagnostics
+//! cargo run -p lint -- --workspace --deny all     # CI gate
+//! cargo run -p lint -- --format json path/to.rs   # machine output
+//! ```
+//!
+//! Exit codes follow the workspace contract: 0 clean, 1 denied
+//! findings, 2 usage or configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lint::engine::{find_root, lint_files, lint_workspace, load_config, SeverityMap};
+use lint::report::Severity;
+use lint::rules::registry;
+
+const USAGE: &str = "\
+v6census-lint: static analysis for the v6census workspace
+
+USAGE:
+    v6census-lint [OPTIONS] [--workspace | FILES...]
+
+OPTIONS:
+    --workspace          lint every .rs file under src/ and crates/*/src/
+    --deny <rule|all>    treat a rule's findings as fatal (default: all deny)
+    --warn <rule|all>    report a rule's findings without failing
+    --format <human|json>  output format (default: human)
+    --config <path>      lint config (default: <root>/lint.toml)
+    --root <path>        workspace root (default: discovered from cwd)
+    --list-rules         print the rule registry and exit
+    -h, --help           this text
+
+EXIT CODES:
+    0  no denied findings
+    1  denied findings
+    2  usage or configuration error
+";
+
+struct Args {
+    workspace: bool,
+    files: Vec<PathBuf>,
+    severities: SeverityMap,
+    json: bool,
+    config: Option<PathBuf>,
+    root: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        files: Vec::new(),
+        severities: SeverityMap::default(),
+        json: false,
+        config: None,
+        root: None,
+        list_rules: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--list-rules" => args.list_rules = true,
+            "--deny" | "--warn" => {
+                let rule = it
+                    .next()
+                    .ok_or_else(|| format!("{a} requires a rule id or `all`"))?;
+                let sev = if a == "--deny" {
+                    Severity::Deny
+                } else {
+                    Severity::Warn
+                };
+                args.severities.push(rule, sev);
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => args.json = false,
+                Some("json") => args.json = true,
+                other => return Err(format!("--format expects `human` or `json`, got {other:?}")),
+            },
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config requires a path")?));
+            }
+            "--root" => {
+                args.root = Some(PathBuf::from(it.next().ok_or("--root requires a path")?));
+            }
+            "-h" | "--help" => return Err(String::new()),
+            f if f.starts_with('-') => return Err(format!("unknown flag {f}")),
+            f => args.files.push(PathBuf::from(f)),
+        }
+    }
+    if !args.list_rules && !args.workspace && args.files.is_empty() {
+        return Err("nothing to lint: pass --workspace or file paths".into());
+    }
+    if args.workspace && !args.files.is_empty() {
+        return Err("--workspace and explicit files are mutually exclusive".into());
+    }
+    Ok(args)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+
+    if args.list_rules {
+        for rule in registry() {
+            println!("{}  {:<16} {}", rule.id(), rule.name(), rule.describe());
+        }
+        println!("P000  pragma-syntax    malformed `// lint:` pragma or missing reason");
+        println!("P001  unused-pragma    allow pragma that suppresses nothing");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let root = args.root.clone().unwrap_or_else(|| find_root(&cwd));
+    let cfg = match &args.config {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            lint::config::Config::parse(&text).map_err(|e| e.to_string())?
+        }
+        None => load_config(&root).map_err(|e| e.to_string())?,
+    };
+
+    let report = if args.workspace {
+        lint_workspace(&root, &cfg, &args.severities)
+    } else {
+        lint_files(&root, &args.files, &cfg, &args.severities)
+    }
+    .map_err(|e| e.to_string())?;
+
+    if args.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    Ok(if report.exit_code() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            if msg.is_empty() {
+                // -h / --help.
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("v6census-lint: {msg}");
+                eprint!("{USAGE}");
+                ExitCode::from(2)
+            }
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Diagnostics and their human / machine renderings.
+
+use std::fmt::Write as _;
+
+/// How a rule's findings affect the process exit code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Reported and fatal: any denied finding makes the run exit 1.
+    Deny,
+    /// Reported only.
+    Warn,
+}
+
+/// One finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Stable rule id (`L001` … `L005`, `P000`, `P001`).
+    pub rule: String,
+    /// Human rule name (`no-panic-paths`).
+    pub name: &'static str,
+    /// Workspace-relative path.
+    pub rel: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// Deny or warn, assigned by the engine's severity map.
+    pub severity: Severity,
+    /// True when an allow pragma suppressed this finding.
+    pub suppressed: bool,
+}
+
+/// The result of a lint run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Every finding, suppressed ones included (JSON consumers see the
+    /// full picture; human output hides suppressions behind a count).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that were denied and not suppressed — what fails the run.
+    pub fn denied(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny && !d.suppressed)
+    }
+
+    /// Unsuppressed warn-level findings.
+    pub fn warned(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn && !d.suppressed)
+    }
+
+    /// Suppressed findings (an allow pragma matched).
+    pub fn suppressed_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.suppressed).count()
+    }
+
+    /// The process exit code this report dictates.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(self.denied().next().is_some())
+    }
+
+    /// `path:line: severity[rule/name] message` diagnostics plus a
+    /// one-line summary, sorted by path and line for stable output.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let mut shown: Vec<&Diagnostic> =
+            self.diagnostics.iter().filter(|d| !d.suppressed).collect();
+        shown.sort_by(|a, b| (&a.rel, a.line, &a.rule).cmp(&(&b.rel, b.line, &b.rule)));
+        for d in &shown {
+            let sev = match d.severity {
+                Severity::Deny => "deny",
+                Severity::Warn => "warn",
+            };
+            let _ = writeln!(
+                out,
+                "{}:{}: {sev}[{}/{}] {}",
+                d.rel, d.line, d.rule, d.name, d.message
+            );
+            if !d.snippet.is_empty() {
+                let _ = writeln!(out, "    | {}", d.snippet);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "v6census-lint: {} denied, {} warned, {} suppressed by pragma; {} files scanned",
+            self.denied().count(),
+            self.warned().count(),
+            self.suppressed_count(),
+            self.files_scanned
+        );
+        out
+    }
+
+    /// Machine-readable JSON: the full diagnostic list plus a summary.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"diagnostics\": [");
+        let mut sorted: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+        sorted.sort_by(|a, b| (&a.rel, a.line, &a.rule).cmp(&(&b.rel, b.line, &b.rule)));
+        for (i, d) in sorted.iter().enumerate() {
+            let sev = match d.severity {
+                Severity::Deny => "deny",
+                Severity::Warn => "warn",
+            };
+            let _ = write!(
+                out,
+                "{}\n    {{\"rule\": {}, \"name\": {}, \"path\": {}, \"line\": {}, \"severity\": {}, \"suppressed\": {}, \"message\": {}, \"snippet\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_str(&d.rule),
+                json_str(d.name),
+                json_str(&d.rel),
+                d.line,
+                json_str(sev),
+                d.suppressed,
+                json_str(&d.message),
+                json_str(&d.snippet),
+            );
+        }
+        let _ = write!(
+            out,
+            "\n  ],\n  \"summary\": {{\"denied\": {}, \"warned\": {}, \"suppressed\": {}, \"files_scanned\": {}}}\n}}\n",
+            self.denied().count(),
+            self.warned().count(),
+            self.suppressed_count(),
+            self.files_scanned
+        );
+        out
+    }
+}
+
+/// JSON string escaping (control characters, quotes, backslashes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &str, sev: Severity, suppressed: bool) -> Diagnostic {
+        Diagnostic {
+            rule: rule.into(),
+            name: "test-rule",
+            rel: "crates/x/src/lib.rs".into(),
+            line: 3,
+            message: "a \"quoted\" problem".into(),
+            snippet: "let x = 1;".into(),
+            severity: sev,
+            suppressed,
+        }
+    }
+
+    #[test]
+    fn exit_code_follows_denied_findings() {
+        let mut r = Report::default();
+        assert_eq!(r.exit_code(), 0);
+        r.diagnostics.push(diag("L001", Severity::Warn, false));
+        assert_eq!(r.exit_code(), 0, "warnings never fail the run");
+        r.diagnostics.push(diag("L002", Severity::Deny, true));
+        assert_eq!(r.exit_code(), 0, "suppressed findings never fail the run");
+        r.diagnostics.push(diag("L003", Severity::Deny, false));
+        assert_eq!(r.exit_code(), 1);
+    }
+
+    #[test]
+    fn renders_human_and_json() {
+        let mut r = Report {
+            files_scanned: 2,
+            ..Report::default()
+        };
+        r.diagnostics.push(diag("L001", Severity::Deny, false));
+        let human = r.render_human();
+        assert!(human.contains("deny[L001/test-rule]"));
+        assert!(human.contains("1 denied"));
+        let json = r.render_json();
+        assert!(json.contains("\"rule\": \"L001\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"files_scanned\": 2"));
+    }
+}

@@ -1,0 +1,588 @@
+//! The rule registry: five project-specific contracts with stable ids.
+//!
+//! | id   | name            | contract                                         |
+//! |------|-----------------|--------------------------------------------------|
+//! | L001 | no-panic-paths  | no `unwrap`/`expect`/`panic!`/`todo!`/            |
+//! |      |                 | `unimplemented!`/`unreachable!`/literal indexing  |
+//! |      |                 | in non-test library code                          |
+//! | L002 | determinism     | no `HashMap`/`HashSet`, wall-clock reads, or      |
+//! |      |                 | unstable float formatting in modules feeding      |
+//! |      |                 | `equivalence_key` / product output                |
+//! | L003 | cast-safety     | no raw truncating `as u8/u16/u32/usize` in        |
+//! |      |                 | bit/nybble math — use `v6census_addr::cast`       |
+//! | L004 | error-taxonomy  | public `fn -> Result` uses typed errors, not      |
+//! |      |                 | `String` / `Box<dyn Error>`                       |
+//! | L005 | exit-codes      | `process::exit` only with the documented          |
+//! |      |                 | `EXIT_*` constants                                |
+//!
+//! Every rule is scoped by path prefixes from `lint.toml` and can be
+//! suppressed per line (or per file) with
+//! `// lint: allow(<rule>, reason = "...")`.
+
+use crate::config::Config;
+use crate::report::{Diagnostic, Severity};
+use crate::scan::ScannedFile;
+
+/// A lint rule over one scanned file.
+pub trait Rule {
+    /// Stable id, e.g. `L001`.
+    fn id(&self) -> &'static str;
+    /// Human-readable name, e.g. `no-panic-paths`.
+    fn name(&self) -> &'static str;
+    /// One-line contract description (for `--list-rules`).
+    fn describe(&self) -> &'static str;
+    /// Appends findings for `file` to `out`.
+    fn check(&self, file: &ScannedFile, cfg: &Config, out: &mut Vec<Diagnostic>);
+}
+
+/// All registered rules, in id order.
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoPanicPaths),
+        Box::new(Determinism),
+        Box::new(CastSafety),
+        Box::new(ErrorTaxonomy),
+        Box::new(ExitCodes),
+    ]
+}
+
+/// Builds a finding with the file/line context filled in. Severity
+/// starts at `Deny`; the engine re-maps it from the CLI flags.
+fn finding(rule: &dyn Rule, file: &ScannedFile, line: usize, message: String) -> Diagnostic {
+    let snippet = file
+        .lines
+        .get(line.saturating_sub(1))
+        .map(|l| l.code.trim().to_string())
+        .unwrap_or_default();
+    Diagnostic {
+        rule: rule.id().to_string(),
+        name: rule.name(),
+        rel: file.rel.clone(),
+        line,
+        message,
+        snippet,
+        severity: Severity::Deny,
+        suppressed: false,
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Occurrences of `needle` in `hay` whose surrounding characters do not
+/// extend an identifier (so `panic!` does not match `dont_panic!`, and
+/// `u8` does not match `u80`). A boundary is only required on a side
+/// where the needle itself starts/ends with an identifier char —
+/// `.unwrap()` legitimately follows its receiver.
+fn token_positions(hay: &str, needle: &str) -> Vec<usize> {
+    let needs_before = needle.chars().next().is_some_and(is_ident_char);
+    let needs_after = needle.chars().next_back().is_some_and(is_ident_char);
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(i) = hay[from..].find(needle) {
+        let at = from + i;
+        let before_ok = !needs_before
+            || hay[..at]
+                .chars()
+                .next_back()
+                .is_none_or(|c| !is_ident_char(c));
+        let after_ok = !needs_after
+            || hay[at + needle.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !is_ident_char(c));
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + needle.len();
+    }
+    out
+}
+
+/// Iterates the non-test lines of a file as `(1-based line, code)`.
+fn code_lines(file: &ScannedFile) -> impl Iterator<Item = (usize, &str)> {
+    file.lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.in_test && !l.code.trim().is_empty())
+        .map(|(i, l)| (i + 1, l.code.as_str()))
+}
+
+// ---------------------------------------------------------------- L001
+
+/// L001 no-panic-paths: library code must return typed errors, not die.
+pub struct NoPanicPaths;
+
+/// What L001 looks for, and why each token is a panic path.
+const PANIC_TOKENS: &[(&str, &str)] = &[
+    (".unwrap()", "panics on None/Err"),
+    (".expect(", "panics on None/Err"),
+    ("panic!(", "unconditional panic"),
+    ("todo!(", "unconditional panic"),
+    ("unimplemented!(", "unconditional panic"),
+    ("unreachable!(", "panics if ever reached"),
+];
+
+impl Rule for NoPanicPaths {
+    fn id(&self) -> &'static str {
+        "L001"
+    }
+    fn name(&self) -> &'static str {
+        "no-panic-paths"
+    }
+    fn describe(&self) -> &'static str {
+        "no unwrap/expect/panic!/todo!/unimplemented!/unreachable!/indexing-by-literal in non-test library code"
+    }
+    fn check(&self, file: &ScannedFile, _cfg: &Config, out: &mut Vec<Diagnostic>) {
+        for (line_no, code) in code_lines(file) {
+            for &(tok, why) in PANIC_TOKENS {
+                // `.unwrap()` / `.expect(` start with '.', which the
+                // boundary check treats as a non-ident char on both
+                // sides, so token_positions works for all of these.
+                if !token_positions(code, tok).is_empty() {
+                    out.push(finding(
+                        self,
+                        file,
+                        line_no,
+                        format!(
+                            "`{}` {} — return the crate's typed error instead",
+                            tok.trim_end_matches('('),
+                            why
+                        ),
+                    ));
+                }
+            }
+            for at in literal_index_positions(code) {
+                let upto = &code[at..];
+                let end = upto.find(']').map(|e| at + e + 1).unwrap_or(code.len());
+                out.push(finding(
+                    self,
+                    file,
+                    line_no,
+                    format!(
+                        "literal indexing `{}` panics when out of bounds — destructure or use .get()",
+                        &code[at..end]
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Positions of `[` starting a literal index (`x[0]`, `self.0[3]`) —
+/// a `[` whose preceding non-space char continues an expression and
+/// whose bracketed content is an integer literal.
+fn literal_index_positions(code: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, c) in code.char_indices() {
+        if c != '[' {
+            continue;
+        }
+        let prev = code[..i].trim_end().chars().next_back();
+        let indexes_expr = prev.is_some_and(|p| is_ident_char(p) || p == ')' || p == ']');
+        if !indexes_expr {
+            continue;
+        }
+        let inner_end = match code[i + 1..].find(']') {
+            Some(e) => i + 1 + e,
+            None => continue,
+        };
+        let inner = code[i + 1..inner_end].trim();
+        if !inner.is_empty() && inner.chars().all(|c| c.is_ascii_digit() || c == '_') {
+            out.push(i);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- L002
+
+/// L002 determinism: modules feeding `equivalence_key` or product
+/// output must not read iteration-order- or wall-clock-dependent state,
+/// and must not format floats in run-to-run-unstable ways.
+pub struct Determinism;
+
+/// Default forbidden tokens when `lint.toml` does not override them.
+const DETERMINISM_TOKENS: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "SystemTime::now",
+    "Instant::now",
+    "RandomState",
+];
+
+impl Rule for Determinism {
+    fn id(&self) -> &'static str {
+        "L002"
+    }
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+    fn describe(&self) -> &'static str {
+        "no HashMap/HashSet, wall-clock reads, or unstable float formatting in product-producing modules"
+    }
+    fn check(&self, file: &ScannedFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+        let configured = cfg.list("rules.L002", "tokens");
+        let defaults: Vec<String> = DETERMINISM_TOKENS.iter().map(|s| s.to_string()).collect();
+        let tokens: &[String] = if configured.is_empty() {
+            &defaults
+        } else {
+            configured
+        };
+        for (line_no, code) in code_lines(file) {
+            for tok in tokens {
+                if !token_positions(code, tok).is_empty() {
+                    out.push(finding(
+                        self,
+                        file,
+                        line_no,
+                        format!(
+                            "`{tok}` is nondeterministic (iteration order or wall clock) in a module that feeds equivalence_key/product output — use BTreeMap/BTreeSet or plumb times through explicitly"
+                        ),
+                    ));
+                }
+            }
+        }
+        // Float-format check runs over the *string literals* the scanner
+        // collected, because format strings are invisible in `code`.
+        for (i, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for s in &line.strings {
+                if let Some(spec) = unstable_float_format(s) {
+                    out.push(finding(
+                        self,
+                        file,
+                        i + 1,
+                        format!(
+                            "format spec `{spec}` (scientific or runtime-varying precision) can change product bytes between runs — use a fixed `{{:.N}}` precision"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Scans a format string for specs whose rendering varies with runtime
+/// values: scientific notation (`{:e}`/`{:E}`) and argument-supplied
+/// precision (`{:.*}`, `{:.1$}`, `{:.prec$}`). Returns the first such
+/// spec.
+fn unstable_float_format(s: &str) -> Option<String> {
+    let mut chars = s.char_indices().peekable();
+    while let Some((start, c)) = chars.next() {
+        if c != '{' {
+            continue;
+        }
+        if chars.peek().map(|&(_, c)| c) == Some('{') {
+            chars.next(); // escaped `{{`
+            continue;
+        }
+        let rest = &s[start + 1..];
+        let Some(end) = rest.find('}') else { break };
+        let spec = &rest[..end];
+        if let Some(fmt) = spec.split_once(':').map(|(_, f)| f) {
+            let scientific = fmt.ends_with('e') || fmt.ends_with('E');
+            let runtime_precision = fmt.contains(".*")
+                || (fmt.contains('.') && fmt[fmt.find('.').unwrap_or(0)..].contains('$'));
+            if scientific || runtime_precision {
+                return Some(format!("{{{spec}}}"));
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------- L003
+
+/// L003 cast-safety: raw `as u8/u16/u32/usize` silently truncates;
+/// bit/nybble math must go through `v6census_addr::cast` helpers (which
+/// `debug_assert` losslessness) or the lossless `uN::from`.
+pub struct CastSafety;
+
+const NARROWING_TYPES: &[&str] = &["u8", "u16", "u32", "usize"];
+
+impl Rule for CastSafety {
+    fn id(&self) -> &'static str {
+        "L003"
+    }
+    fn name(&self) -> &'static str {
+        "cast-safety"
+    }
+    fn describe(&self) -> &'static str {
+        "no raw `as u8/u16/u32/usize` in bit/nybble math — use v6census_addr::cast::checked_* or uN::from"
+    }
+    fn check(&self, file: &ScannedFile, _cfg: &Config, out: &mut Vec<Diagnostic>) {
+        for (line_no, code) in code_lines(file) {
+            for at in token_positions(code, "as") {
+                let after = code[at + 2..].trim_start();
+                let Some(ty) = NARROWING_TYPES.iter().find(|t| {
+                    after.starts_with(**t)
+                        && after[t.len()..]
+                            .chars()
+                            .next()
+                            .is_none_or(|c| !is_ident_char(c))
+                }) else {
+                    continue;
+                };
+                out.push(finding(
+                    self,
+                    file,
+                    line_no,
+                    format!(
+                        "raw `as {ty}` can silently truncate — use cast::checked_{ty} (debug_asserts losslessness), `{ty}::from` for widening, or justify with an allow pragma"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L004
+
+/// L004 error-taxonomy: a public fallible API must expose the crate's
+/// typed error so callers can triage programmatically; `String` and
+/// `Box<dyn Error>` erase the taxonomy.
+pub struct ErrorTaxonomy;
+
+impl Rule for ErrorTaxonomy {
+    fn id(&self) -> &'static str {
+        "L004"
+    }
+    fn name(&self) -> &'static str {
+        "error-taxonomy"
+    }
+    fn describe(&self) -> &'static str {
+        "public fn returning Result must use a typed error, not String or Box<dyn Error>"
+    }
+    fn check(&self, file: &ScannedFile, _cfg: &Config, out: &mut Vec<Diagnostic>) {
+        let lines: Vec<(usize, &str)> = code_lines(file).collect();
+        for (idx, &(line_no, code)) in lines.iter().enumerate() {
+            let Some(fn_at) = pub_fn_position(code) else {
+                continue;
+            };
+            // Join the signature until its body `{` or declaration `;`.
+            let mut sig = code[fn_at..].to_string();
+            let mut extra = 0usize;
+            while !sig.contains('{') && !sig.contains(';') && extra < 24 {
+                extra += 1;
+                match lines.get(idx + extra) {
+                    Some(&(_, next)) => {
+                        sig.push(' ');
+                        sig.push_str(next);
+                    }
+                    None => break,
+                }
+            }
+            let sig = sig.split('{').next().unwrap_or(&sig);
+            let Some(ret) = sig.split("->").nth(1) else {
+                continue;
+            };
+            if let Some(err_ty) = stringly_error(ret) {
+                out.push(finding(
+                    self,
+                    file,
+                    line_no,
+                    format!(
+                        "public fn returns `Result<_, {err_ty}>` — use the crate's typed error so callers can triage variants"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The byte position of `fn` in a `pub fn` / `pub(crate) fn` /
+/// `pub const fn` / `pub async fn` item line, if this line declares one.
+fn pub_fn_position(code: &str) -> Option<usize> {
+    for at in token_positions(code, "fn") {
+        let before = code[..at].trim_end();
+        // Everything between `pub` and `fn` must be visibility scope or
+        // fn qualifiers; that rules out `pub struct S { f: fn() }` etc.
+        let Some(p) = before.rfind("pub") else {
+            continue;
+        };
+        let between = before[p + 3..].trim();
+        // Strip a `(crate)` / `(super)` / `(in path)` visibility scope.
+        let vis_stripped = if let Some(rest) = between.strip_prefix('(') {
+            rest.split_once(')').map(|(_, r)| r.trim()).unwrap_or(rest)
+        } else {
+            between
+        };
+        let quals_ok = vis_stripped
+            .split_whitespace()
+            .all(|w| matches!(w, "const" | "async" | "unsafe" | "extern" | "\"C\""));
+        if quals_ok {
+            return Some(at);
+        }
+    }
+    None
+}
+
+/// If `ret` is `Result<_, E>` with a stringly `E`, returns `E`.
+fn stringly_error(ret: &str) -> Option<String> {
+    let at = ret.find("Result<")?;
+    let args = &ret[at + "Result<".len()..];
+    // Split the generic args at top angle-bracket level.
+    let mut depth = 0i32;
+    let mut top_commas = Vec::new();
+    let mut end = args.len();
+    for (i, c) in args.char_indices() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' if depth == 0 => {
+                end = i;
+                break;
+            }
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth == 0 => top_commas.push(i),
+            _ => {}
+        }
+    }
+    let err_ty = match top_commas.first() {
+        Some(&comma) => args[comma + 1..end].trim(),
+        None => return None, // one-arg Result alias — typed by definition
+    };
+    if err_ty == "String" || err_ty.starts_with("Box<dyn") {
+        Some(err_ty.to_string())
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------- L005
+
+/// L005 exit-codes: the CLI's exit-code contract (0 ok / 1 data /
+/// 2 usage / 3 degraded) is enforced by requiring every `process::exit`
+/// to name one of the documented constants.
+pub struct ExitCodes;
+
+/// Default allowed arguments when `lint.toml` does not override them.
+const EXIT_IDENTS: &[&str] = &["EXIT_OK", "EXIT_DATA_ERROR", "EXIT_USAGE", "EXIT_DEGRADED"];
+
+impl Rule for ExitCodes {
+    fn id(&self) -> &'static str {
+        "L005"
+    }
+    fn name(&self) -> &'static str {
+        "exit-codes"
+    }
+    fn describe(&self) -> &'static str {
+        "process::exit must use the documented EXIT_OK/EXIT_DATA_ERROR/EXIT_USAGE/EXIT_DEGRADED constants"
+    }
+    fn check(&self, file: &ScannedFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+        let configured = cfg.list("rules.L005", "exit_idents");
+        let defaults: Vec<String> = EXIT_IDENTS.iter().map(|s| s.to_string()).collect();
+        let allowed: &[String] = if configured.is_empty() {
+            &defaults
+        } else {
+            configured
+        };
+        for (line_no, code) in code_lines(file) {
+            let mut from = 0;
+            while let Some(i) = code[from..].find("process::exit(") {
+                let at = from + i;
+                let arg_start = at + "process::exit(".len();
+                let arg = match code[arg_start..].find(')') {
+                    Some(e) => code[arg_start..arg_start + e].trim(),
+                    None => code[arg_start..].trim(),
+                };
+                // Accept qualified paths by their last segment.
+                let last = arg.rsplit("::").next().unwrap_or(arg);
+                if !allowed.iter().any(|a| a == last) {
+                    out.push(finding(
+                        self,
+                        file,
+                        line_no,
+                        format!(
+                            "`process::exit({arg})` bypasses the documented exit-code contract — use one of {}",
+                            allowed.join("/")
+                        ),
+                    ));
+                }
+                from = arg_start;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+    use std::path::PathBuf;
+
+    fn check_one(rule: &dyn Rule, src: &str) -> Vec<Diagnostic> {
+        let f = scan(PathBuf::from("t.rs"), "t.rs".into(), src);
+        let mut out = Vec::new();
+        rule.check(&f, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn l001_flags_panic_paths_not_lookalikes() {
+        let bad = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"n\"); let z = v[0]; }\n";
+        assert_eq!(check_one(&NoPanicPaths, bad).len(), 4);
+        let ok = "fn f() { x.unwrap_or(0); y.unwrap_or_else(d); v.get(0); w[i]; m[i + 1]; }\n";
+        assert!(check_one(&NoPanicPaths, ok).is_empty());
+        let test_only = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        assert!(check_one(&NoPanicPaths, test_only).is_empty());
+    }
+
+    #[test]
+    fn l001_ignores_array_types_and_attributes() {
+        let ok =
+            "fn f(a: [u8; 6]) -> [u8; 4] { let b: [u8; 2] = m; b }\n#[derive(Debug)]\nstruct S;\n";
+        assert!(check_one(&NoPanicPaths, ok).is_empty());
+    }
+
+    #[test]
+    fn l002_flags_hazards() {
+        let bad = "fn f() { let m = HashMap::new(); let t = Instant::now(); }\n";
+        assert_eq!(check_one(&Determinism, bad).len(), 2);
+        let ok = "fn f() { let m = BTreeMap::new(); let h = MyHashMapLike::new(); }\n";
+        assert!(check_one(&Determinism, ok).is_empty());
+    }
+
+    #[test]
+    fn l002_flags_unstable_float_formats() {
+        assert!(unstable_float_format("x {:e} y").is_some());
+        assert!(unstable_float_format("{:.*}").is_some());
+        assert!(unstable_float_format("{:.1$}").is_some());
+        assert!(
+            unstable_float_format("{:.3}").is_none(),
+            "fixed precision is stable"
+        );
+        assert!(unstable_float_format("{{:e}} escaped").is_none());
+        assert!(unstable_float_format("{:>8}").is_none());
+    }
+
+    #[test]
+    fn l003_flags_narrowing_as() {
+        let bad = "fn f(x: u64) { let a = x as u8; let b = x as usize; }\n";
+        assert_eq!(check_one(&CastSafety, bad).len(), 2);
+        let ok = "fn f(x: u8) { let a = u32::from(x); let b = x as u64; let c = x as f64; }\n";
+        assert!(check_one(&CastSafety, ok).is_empty());
+    }
+
+    #[test]
+    fn l004_flags_stringly_public_results() {
+        let bad = "pub fn f() -> Result<(), String> { Ok(()) }\n";
+        assert_eq!(check_one(&ErrorTaxonomy, bad).len(), 1);
+        let boxed = "pub fn g(\n    x: u8,\n) -> Result<u8, Box<dyn std::error::Error>> {\n";
+        assert_eq!(check_one(&ErrorTaxonomy, boxed).len(), 1);
+        let ok = "pub fn f() -> Result<(), MyError> { Ok(()) }\nfn private() -> Result<(), String> { Ok(()) }\npub fn io() -> io::Result<()> { Ok(()) }\n";
+        assert!(check_one(&ErrorTaxonomy, ok).is_empty());
+    }
+
+    #[test]
+    fn l005_requires_named_constants() {
+        let bad = "fn f() { std::process::exit(42); }\n";
+        assert_eq!(check_one(&ExitCodes, bad).len(), 1);
+        let ok =
+            "fn f() { std::process::exit(EXIT_USAGE); process::exit(v6census_cli::EXIT_OK); }\n";
+        assert!(check_one(&ExitCodes, ok).is_empty());
+    }
+}

@@ -1,0 +1,473 @@
+//! Line-aware lexical scanner for Rust source.
+//!
+//! The rules in this crate are textual, so the scanner's job is to make
+//! textual matching *honest*: rule patterns must never fire inside
+//! string literals, comments, or doc comments, and must know which lines
+//! belong to `#[cfg(test)]` / `#[test]` regions (where the workspace's
+//! panic-freedom contract deliberately does not apply).
+//!
+//! One pass walks the raw text with a small state machine and produces,
+//! per line:
+//!
+//! * `code` — the line with comments removed and string/char literal
+//!   *contents* blanked (delimiters kept), so `".unwrap()"` inside a
+//!   string can never match a rule pattern;
+//! * `strings` — the literal contents that were blanked, for the one
+//!   rule (L002's float-format check) that inspects format strings;
+//! * line comments, checked for `lint:` suppression pragmas.
+//!
+//! A second pass over the comment-free code computes brace-balanced
+//! `#[cfg(test)]` / `#[test]` regions.
+
+use std::path::PathBuf;
+
+/// A `// lint: allow(<rule>, reason = "...")` suppression pragma, or a
+/// malformed attempt at one (carried with its parse error so the engine
+/// can report it instead of silently honouring or dropping it).
+#[derive(Clone, Debug)]
+pub struct Pragma {
+    /// The rule id being suppressed, e.g. `L003`.
+    pub rule: String,
+    /// The mandatory justification. `None` is a pragma-syntax violation.
+    pub reason: Option<String>,
+    /// 1-based line the pragma was written on.
+    pub decl_line: usize,
+    /// 1-based line the pragma suppresses; `None` suppresses the whole
+    /// file (the `allow-file` form).
+    pub target_line: Option<usize>,
+    /// Why the pragma failed to parse, if it did.
+    pub error: Option<String>,
+}
+
+/// One source line after lexical analysis.
+#[derive(Clone, Debug, Default)]
+pub struct Line {
+    /// The line with comments stripped and literal contents blanked.
+    pub code: String,
+    /// String-literal contents that appeared on this line.
+    pub strings: Vec<String>,
+    /// True inside a `#[cfg(test)]` or `#[test]` region.
+    pub in_test: bool,
+}
+
+/// A scanned source file: lines plus the pragmas found in its comments.
+#[derive(Clone, Debug)]
+pub struct ScannedFile {
+    /// Absolute (or as-given) path.
+    pub path: PathBuf,
+    /// Workspace-relative path with forward slashes — what rules match
+    /// their scopes against and what diagnostics print.
+    pub rel: String,
+    /// Per-line analysis, index 0 = line 1.
+    pub lines: Vec<Line>,
+    /// Every pragma in the file, valid or not.
+    pub pragmas: Vec<Pragma>,
+}
+
+/// Lexer state while walking the raw text.
+enum State {
+    Code,
+    Str { raw_hashes: Option<usize> },
+    Char,
+    BlockComment { depth: usize },
+}
+
+/// One pending line comment: its text and whether code preceded it.
+struct LineComment {
+    line: usize,
+    text: String,
+    after_code: bool,
+}
+
+/// Scans `text` into per-line code/strings plus pragmas.
+pub fn scan(path: PathBuf, rel: String, text: &str) -> ScannedFile {
+    let mut lines: Vec<Line> = vec![Line::default()];
+    let mut comments: Vec<LineComment> = Vec::new();
+    let mut state = State::Code;
+    let mut cur_string = String::new();
+    let mut chars = text.chars().peekable();
+
+    // Walking with an explicit loop (rather than per-line) lets string
+    // literals and block comments span lines without special cases.
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            if let State::Str { .. } = state {
+                cur_string.push('\n');
+            }
+            lines.push(Line::default());
+            continue;
+        }
+        let line_no = lines.len();
+        match &mut state {
+            State::Code => match c {
+                '/' if chars.peek() == Some(&'/') => {
+                    chars.next();
+                    let text: String = take_until_newline(&mut chars);
+                    let after_code = !last_code(&mut lines).trim().is_empty();
+                    comments.push(LineComment {
+                        line: line_no,
+                        text,
+                        after_code,
+                    });
+                    lines.push(Line::default());
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    state = State::BlockComment { depth: 1 };
+                }
+                '"' => {
+                    last_code(&mut lines).push('"');
+                    cur_string.clear();
+                    state = State::Str { raw_hashes: None };
+                }
+                'r' | 'b' => {
+                    // `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` start string
+                    // literals; anything else is an ordinary identifier
+                    // character (or `r#ident`, which has no quote).
+                    match raw_string_lookahead(c, &mut chars) {
+                        Some(raw_hashes) => {
+                            last_code(&mut lines).push('"');
+                            cur_string.clear();
+                            state = State::Str { raw_hashes };
+                        }
+                        None => last_code(&mut lines).push(c),
+                    }
+                }
+                '\'' => {
+                    // Disambiguate char literal from lifetime: a char
+                    // literal is `'x'` or `'\..'`; a lifetime is `'ident`
+                    // with no closing quote right after.
+                    let mut ahead = chars.clone();
+                    let is_char = match ahead.next() {
+                        Some('\\') => true,
+                        Some(_) => ahead.next() == Some('\''),
+                        None => false,
+                    };
+                    last_code(&mut lines).push('\'');
+                    if is_char {
+                        state = State::Char;
+                    }
+                }
+                _ => last_code(&mut lines).push(c),
+            },
+            State::Str { raw_hashes: None } => match c {
+                '\\' => {
+                    cur_string.push('\\');
+                    if let Some(&e) = chars.peek() {
+                        chars.next();
+                        cur_string.push(e);
+                    }
+                }
+                '"' => {
+                    let cur = cur_line(&mut lines);
+                    cur.code.push('"');
+                    cur.strings.push(std::mem::take(&mut cur_string));
+                    state = State::Code;
+                }
+                _ => cur_string.push(c),
+            },
+            State::Str {
+                raw_hashes: Some(h),
+            } => {
+                let h = *h;
+                if c == '"' && peek_n_hashes(&mut chars, h) {
+                    for _ in 0..h {
+                        chars.next();
+                    }
+                    let cur = cur_line(&mut lines);
+                    cur.code.push('"');
+                    cur.strings.push(std::mem::take(&mut cur_string));
+                    state = State::Code;
+                } else {
+                    cur_string.push(c);
+                }
+            }
+            State::Char => match c {
+                '\\' => {
+                    chars.next();
+                }
+                '\'' => {
+                    last_code(&mut lines).push('\'');
+                    state = State::Code;
+                }
+                _ => {}
+            },
+            State::BlockComment { depth } => match c {
+                '*' if chars.peek() == Some(&'/') => {
+                    chars.next();
+                    *depth -= 1;
+                    if *depth == 0 {
+                        state = State::Code;
+                    }
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    *depth += 1;
+                }
+                _ => {}
+            },
+        }
+    }
+
+    mark_test_regions(&mut lines);
+    let pragmas = resolve_pragmas(&comments, &lines);
+    ScannedFile {
+        path,
+        rel,
+        lines,
+        pragmas,
+    }
+}
+
+/// The current (last) line. `lines` is seeded with one entry and only
+/// ever grows, so the fallback push is defensive, not a real path.
+fn cur_line(lines: &mut Vec<Line>) -> &mut Line {
+    if lines.is_empty() {
+        lines.push(Line::default());
+    }
+    let i = lines.len() - 1;
+    &mut lines[i]
+}
+
+/// The current line's code buffer.
+fn last_code(lines: &mut Vec<Line>) -> &mut String {
+    &mut cur_line(lines).code
+}
+
+/// Consumes the rest of the current line (after `//`) as comment text.
+fn take_until_newline(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> String {
+    let mut out = String::new();
+    for c in chars.by_ref() {
+        if c == '\n' {
+            break;
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Decides whether `c` (an `r` or `b` just consumed from code position)
+/// begins a string literal, consuming the prefix from `chars` only when
+/// it does. Returns the raw-hash count: `Some(None)` for `b"…"` (escapes
+/// like a normal string), `Some(Some(n))` for `r`/`br` raw strings.
+#[allow(clippy::option_option)]
+fn raw_string_lookahead(
+    c: char,
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Option<Option<usize>> {
+    let mut ahead = chars.clone();
+    let mut consumed = 0usize;
+    if c == 'b' {
+        match ahead.peek() {
+            Some('"') => {
+                // `b"…"` — consume the opening quote; the caller pushes
+                // the delimiter and enters string state.
+                chars.next();
+                return Some(None);
+            }
+            Some('r') => {
+                ahead.next();
+                consumed += 1;
+            }
+            _ => return None,
+        }
+    }
+    // After `r` / `br`: optional hashes, then a quote, else not a string
+    // (`r#ident` raw identifiers land here and are left untouched).
+    let mut hashes = 0usize;
+    while ahead.peek() == Some(&'#') {
+        ahead.next();
+        consumed += 1;
+        hashes += 1;
+    }
+    if ahead.peek() != Some(&'"') {
+        return None;
+    }
+    consumed += 1; // the opening quote
+    for _ in 0..consumed {
+        chars.next();
+    }
+    Some(Some(hashes))
+}
+
+/// True when the next `n` characters are all `#` (raw-string closer).
+fn peek_n_hashes(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, n: usize) -> bool {
+    chars.clone().take(n).filter(|&c| c == '#').count() == n
+}
+
+/// Marks lines inside `#[cfg(test)]` / `#[test]` items by brace balance
+/// over the comment-free code.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    let mut region_floor: Option<i64> = None;
+    let mut region_armed = false;
+    for line in lines.iter_mut() {
+        let code = line.code.trim();
+        if region_floor.is_none() && (code.contains("#[cfg(test)]") || code.contains("#[test]")) {
+            pending_attr = true;
+        }
+        if pending_attr && region_floor.is_none() && !code.is_empty() && !code.starts_with("#[") {
+            // The attributed item starts here.
+            region_floor = Some(depth);
+            region_armed = false;
+            pending_attr = false;
+        }
+        line.in_test = region_floor.is_some();
+        let opens = line.code.matches('{').count() as i64;
+        let closes = line.code.matches('}').count() as i64;
+        depth += opens - closes;
+        if let Some(floor) = region_floor {
+            if depth > floor {
+                region_armed = true;
+            }
+            // Region ends when braces rebalance — or immediately for a
+            // braceless item (`#[cfg(test)] mod t;`).
+            if (region_armed && depth <= floor) || (!region_armed && code.ends_with(';')) {
+                region_floor = None;
+            }
+        }
+    }
+}
+
+/// Extracts pragmas from line comments and resolves their target lines:
+/// a trailing comment suppresses its own line, a comment on a line of
+/// its own suppresses the next line with code on it.
+fn resolve_pragmas(comments: &[LineComment], lines: &[Line]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(body) = c.text.trim().strip_prefix("lint:") else {
+            continue;
+        };
+        let mut p = parse_pragma(body.trim(), c.line);
+        if p.error.is_none() && p.target_line == Some(c.line) && !c.after_code {
+            // Standalone pragma line: find the next line with code.
+            p.target_line = lines
+                .iter()
+                .enumerate()
+                .skip(c.line) // index c.line == line number c.line + 1
+                .find(|(_, l)| !l.code.trim().is_empty())
+                .map(|(i, _)| i + 1)
+                .or(Some(c.line));
+        }
+        out.push(p);
+    }
+    out
+}
+
+/// Parses `allow(<rule>, reason = "...")` / `allow-file(...)` bodies.
+fn parse_pragma(body: &str, line: usize) -> Pragma {
+    let mut pragma = Pragma {
+        rule: String::new(),
+        reason: None,
+        decl_line: line,
+        target_line: Some(line),
+        error: None,
+    };
+    let inner = if let Some(rest) = body.strip_prefix("allow-file(") {
+        pragma.target_line = None;
+        rest
+    } else if let Some(rest) = body.strip_prefix("allow(") {
+        rest
+    } else {
+        pragma.error = Some(format!(
+            "unrecognized pragma {body:?}: expected `allow(<rule>, reason = \"...\")`"
+        ));
+        return pragma;
+    };
+    let Some(inner) = inner.strip_suffix(')') else {
+        pragma.error = Some("pragma is missing its closing `)`".into());
+        return pragma;
+    };
+    let (rule, rest) = match inner.split_once(',') {
+        Some((r, rest)) => (r.trim(), rest.trim()),
+        None => (inner.trim(), ""),
+    };
+    pragma.rule = rule.to_string();
+    if rule.is_empty() {
+        pragma.error = Some("pragma names no rule".into());
+        return pragma;
+    }
+    let reason = rest
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim)
+        .and_then(|r| r.strip_prefix('"'))
+        .and_then(|r| r.strip_suffix('"'));
+    match reason {
+        Some(r) if !r.trim().is_empty() => pragma.reason = Some(r.to_string()),
+        _ => {
+            pragma.error = Some(format!(
+                "allow({rule}) must carry a non-empty reason = \"...\""
+            ));
+        }
+    }
+    pragma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_str(text: &str) -> ScannedFile {
+        scan(PathBuf::from("x.rs"), "x.rs".into(), text)
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = scan_str("let x = \"panic!(boom)\"; // .unwrap() here\nlet y = 1;\n");
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert_eq!(f.lines[0].strings, vec!["panic!(boom)".to_string()]);
+        assert_eq!(f.lines[1].code.trim(), "let y = 1;");
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let f = scan_str("let s = r#\"a \" .unwrap() b\"#; let c = '\"'; let l: &'static str = s;");
+        let code = &f.lines[0].code;
+        assert!(!code.contains("unwrap"), "{code}");
+        assert!(code.contains("&'static str"), "{code}");
+        assert_eq!(f.lines[0].strings[0], "a \" .unwrap() b");
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f = scan_str("a /* one /* two */ still */ b\n/* open\n.unwrap()\n*/ c\n");
+        assert_eq!(f.lines[0].code.replace(' ', ""), "ab");
+        assert!(f.lines[2].code.is_empty());
+        assert_eq!(f.lines[3].code.trim(), "c");
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let text =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let f = scan_str(text);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test, "closing brace line is still test");
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn pragmas_resolve_targets() {
+        let text = "let a = x as u8; // lint: allow(L003, reason = \"masked\")\n\
+                    // lint: allow(L001, reason = \"next line\")\nlet b = y.unwrap();\n\
+                    // lint: allow-file(L002, reason = \"whole file\")\n\
+                    // lint: allow(L004)\n";
+        let f = scan_str(text);
+        assert_eq!(f.pragmas.len(), 4);
+        assert_eq!(f.pragmas[0].rule, "L003");
+        assert_eq!(f.pragmas[0].target_line, Some(1));
+        assert_eq!(
+            f.pragmas[1].target_line,
+            Some(3),
+            "standalone targets next code line"
+        );
+        assert_eq!(f.pragmas[2].target_line, None);
+        assert!(f.pragmas[3].error.is_some(), "reason is mandatory");
+    }
+}

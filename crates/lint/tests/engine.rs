@@ -1,0 +1,241 @@
+//! End-to-end lint-engine tests over the `.rs` fixtures in
+//! `tests/fixtures/`: one positive and one negative fixture per rule,
+//! pragma suppression and accountability, severity mapping, and a
+//! self-check that the workspace at HEAD is clean under its own
+//! `lint.toml`.
+//!
+//! All fixture runs use `Config::default()` (no `lint.toml`), under
+//! which every rule applies to every file — fixtures stay config-free.
+
+use std::path::{Path, PathBuf};
+
+use lint::config::Config;
+use lint::engine::{lint_files, lint_workspace, load_config, SeverityMap};
+use lint::report::{Report, Severity};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lints one fixture file with default config and default (deny-all)
+/// severities.
+fn lint_fixture(name: &str) -> Report {
+    let dir = fixtures_dir();
+    let path = dir.join(name);
+    assert!(path.is_file(), "missing fixture {}", path.display());
+    lint_files(&dir, &[path], &Config::default(), &SeverityMap::default())
+        .expect("fixture lints without engine errors")
+}
+
+/// Unsuppressed findings of `rule` in the report.
+fn hits<'a>(report: &'a Report, rule: &'a str) -> Vec<&'a lint::report::Diagnostic> {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == rule && !d.suppressed)
+        .collect()
+}
+
+fn assert_bad(name: &str, rule: &str, at_least: usize) {
+    let report = lint_fixture(name);
+    let found = hits(&report, rule);
+    assert!(
+        found.len() >= at_least,
+        "{name}: expected >= {at_least} unsuppressed {rule} findings, got {}: {:?}",
+        found.len(),
+        report.diagnostics
+    );
+    assert_eq!(
+        report.exit_code(),
+        1,
+        "{name}: seeded violations must fail the run"
+    );
+    for d in found {
+        assert!(d.line > 0, "{name}: finding has a real line");
+        assert!(
+            !d.snippet.is_empty(),
+            "{name}: finding carries its source line"
+        );
+    }
+}
+
+fn assert_ok(name: &str) {
+    let report = lint_fixture(name);
+    let loud: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| !d.suppressed)
+        .collect();
+    assert!(
+        loud.is_empty(),
+        "{name}: expected a clean report, got {loud:?}"
+    );
+    assert_eq!(report.exit_code(), 0);
+}
+
+// ------------------------------------------------------- per-rule pairs
+
+#[test]
+fn l001_bad_fixture_is_flagged() {
+    // unwrap, expect, panic!, todo!, unimplemented!, unreachable!, and
+    // two literal index sites.
+    assert_bad("l001_bad.rs", "L001", 8);
+}
+
+#[test]
+fn l001_ok_fixture_is_clean() {
+    assert_ok("l001_ok.rs");
+}
+
+#[test]
+fn l002_bad_fixture_is_flagged() {
+    // HashMap/HashSet appear on the use line and at their construction
+    // sites, the two wall-clock reads, and the `{:e}` format spec.
+    assert_bad("l002_bad.rs", "L002", 5);
+}
+
+#[test]
+fn l002_ok_fixture_is_clean() {
+    assert_ok("l002_ok.rs");
+}
+
+#[test]
+fn l003_bad_fixture_is_flagged() {
+    assert_bad("l003_bad.rs", "L003", 4);
+}
+
+#[test]
+fn l003_ok_fixture_is_clean() {
+    assert_ok("l003_ok.rs");
+}
+
+#[test]
+fn l004_bad_fixture_is_flagged() {
+    // One stringly `String` error and one multi-line `Box<dyn Error>`
+    // signature.
+    assert_bad("l004_bad.rs", "L004", 2);
+}
+
+#[test]
+fn l004_ok_fixture_is_clean() {
+    assert_ok("l004_ok.rs");
+}
+
+#[test]
+fn l005_bad_fixture_is_flagged() {
+    assert_bad("l005_bad.rs", "L005", 2);
+}
+
+#[test]
+fn l005_ok_fixture_is_clean() {
+    assert_ok("l005_ok.rs");
+}
+
+// ------------------------------------------------------------- pragmas
+
+#[test]
+fn valid_pragmas_suppress_and_are_all_used() {
+    let report = lint_fixture("pragma_ok.rs");
+    assert_eq!(
+        report.exit_code(),
+        0,
+        "all violations carry pragmas: {:?}",
+        report.diagnostics
+    );
+    assert_eq!(
+        report.suppressed_count(),
+        3,
+        "trailing, standalone, and file-wide pragmas each suppress one finding"
+    );
+    assert!(
+        hits(&report, "P001").is_empty(),
+        "no pragma is unused in pragma_ok.rs"
+    );
+    assert!(hits(&report, "P000").is_empty());
+}
+
+#[test]
+fn bad_pragmas_do_not_suppress_and_are_reported() {
+    let report = lint_fixture("pragma_bad.rs");
+    assert_eq!(report.exit_code(), 1);
+    // The reason-less `allow(L001)` and the `gibberish(...)` verb are
+    // both pragma-syntax findings.
+    assert_eq!(hits(&report, "P000").len(), 2, "{:?}", report.diagnostics);
+    // A reason-less pragma must NOT suppress the finding it sits on.
+    assert_eq!(hits(&report, "L001").len(), 1);
+    // The well-formed pragma with nothing to suppress is dead weight.
+    assert_eq!(hits(&report, "P001").len(), 1);
+    assert_eq!(report.suppressed_count(), 0);
+}
+
+// ------------------------------------------------------------ severity
+
+#[test]
+fn warn_severity_reports_without_failing() {
+    let dir = fixtures_dir();
+    let mut severities = SeverityMap::default();
+    severities.push("all", Severity::Warn);
+    let report = lint_files(
+        &dir,
+        &[dir.join("l001_bad.rs")],
+        &Config::default(),
+        &severities,
+    )
+    .expect("lints");
+    assert_eq!(report.exit_code(), 0, "warnings never fail the run");
+    assert!(report.warned().count() >= 8);
+    assert_eq!(report.denied().count(), 0);
+
+    // Re-denying one rule over the warn-all baseline restores failure.
+    severities.push("L001", Severity::Deny);
+    let report = lint_files(
+        &dir,
+        &[dir.join("l001_bad.rs")],
+        &Config::default(),
+        &severities,
+    )
+    .expect("lints");
+    assert_eq!(
+        report.exit_code(),
+        1,
+        "later --deny L001 overrides --warn all"
+    );
+}
+
+// ----------------------------------------------------------- self-check
+
+/// The workspace at HEAD must be clean under its own checked-in
+/// `lint.toml` — the same invariant CI enforces with
+/// `cargo run -p lint -- --workspace --deny all`. If this fails, a
+/// change introduced a violation without fixing it or justifying it
+/// with a reasoned pragma.
+#[test]
+fn workspace_at_head_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    assert!(
+        root.join("lint.toml").is_file(),
+        "self-check needs the checked-in lint.toml at {}",
+        root.display()
+    );
+    let cfg = load_config(&root).expect("lint.toml parses");
+    let report = lint_workspace(&root, &cfg, &SeverityMap::default()).expect("workspace lints");
+    let loud: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| !d.suppressed)
+        .map(|d| format!("{}:{} {} {}", d.rel, d.line, d.rule, d.message))
+        .collect();
+    assert!(
+        loud.is_empty(),
+        "workspace is not lint-clean:\n{}",
+        loud.join("\n")
+    );
+    assert_eq!(report.exit_code(), 0);
+    assert!(
+        report.files_scanned > 50,
+        "discovery found the whole workspace"
+    );
+}

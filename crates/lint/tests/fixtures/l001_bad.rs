@@ -1,0 +1,19 @@
+//! L001 fixture: every panic path the rule must flag.
+
+pub fn panics_everywhere(v: Vec<u32>, r: Result<u32, ()>) -> u32 {
+    let a = r.unwrap();
+    let b = v.first().expect("nonempty");
+    if a > 100 {
+        panic!("too big");
+    }
+    if *b == 0 {
+        todo!();
+    }
+    if a == *b {
+        unimplemented!();
+    }
+    if a + b == 3 {
+        unreachable!("sum is never 3");
+    }
+    v[0] + v[12]
+}

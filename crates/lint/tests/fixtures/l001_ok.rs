@@ -1,0 +1,25 @@
+//! L001 fixture: panic-free library code plus everything that merely
+//! *looks* like a panic path — lookalike names, strings, comments, and
+//! test regions.
+
+pub fn clean(v: Vec<u32>, r: Result<u32, ()>, i: usize) -> Option<u32> {
+    let a = r.unwrap_or(0);
+    let b = r.unwrap_or_else(|_| 1);
+    let c = v.get(0).copied().unwrap_or_default();
+    // .unwrap() in a comment is fine; so is "panic!(boom)" in a string:
+    let _s = "x.unwrap(); panic!(no)";
+    let _t: [u8; 4] = [0; 4]; // array type, not an index
+    let d = v[i]; // variable index is allowed; bounds come from the caller
+    Some(a + b + c + d)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v[0], 1);
+        let _ = "x".parse::<u32>().unwrap();
+        panic!("even explicitly");
+    }
+}

@@ -1,0 +1,13 @@
+//! L002 fixture: nondeterminism hazards in product-producing code.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Instant, SystemTime};
+
+pub fn hazards() -> String {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+    let _t = SystemTime::now();
+    let _i = Instant::now();
+    let x = 1.0f64 / 3.0;
+    format!("{:e} {} {}", x, m.len(), s.len())
+}

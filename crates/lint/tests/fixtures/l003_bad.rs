@@ -1,0 +1,9 @@
+//! L003 fixture: raw narrowing casts in bit math.
+
+pub fn narrows(v: u128) -> (u8, u16, u32, usize) {
+    let a = (v >> 124) as u8;
+    let b = (v >> 112) as u16;
+    let c = (v >> 96) as u32;
+    let d = v.leading_zeros() as usize;
+    (a, b, c, d)
+}

@@ -1,0 +1,9 @@
+//! L003 fixture: sanctioned narrowing and genuinely lossless casts.
+
+pub fn widens(x: u8, y: u16) -> (u32, u64, u128, f64) {
+    let a = u32::from(x);
+    let b = x as u64; // widening to u64/u128/f64 is not in L003's scope
+    let c = y as u128;
+    let d = y as f64;
+    (a, b, c, d)
+}

@@ -1,0 +1,11 @@
+//! L004 fixture: public fallible APIs with stringly errors.
+
+pub fn stringly() -> Result<u32, String> {
+    Err("nope".to_string())
+}
+
+pub fn boxed(
+    input: u32,
+) -> Result<u32, Box<dyn std::error::Error>> {
+    Ok(input)
+}

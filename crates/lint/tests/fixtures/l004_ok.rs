@@ -1,0 +1,20 @@
+//! L004 fixture: typed errors, private stringly fns, and Result aliases.
+
+#[derive(Debug)]
+pub struct TypedError;
+
+pub fn typed() -> Result<u32, TypedError> {
+    Err(TypedError)
+}
+
+pub fn io_alias() -> std::io::Result<u32> {
+    Ok(1)
+}
+
+fn private_stringly() -> Result<u32, String> {
+    Err("private fns are outside the public error taxonomy".into())
+}
+
+pub fn uses_it() -> Result<u32, TypedError> {
+    private_stringly().map_err(|_| TypedError)
+}

@@ -1,0 +1,8 @@
+//! L005 fixture: exit codes outside the documented contract.
+
+pub fn bail(code: i32) {
+    if code == 0 {
+        std::process::exit(0);
+    }
+    std::process::exit(42);
+}

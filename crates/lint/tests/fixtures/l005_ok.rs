@@ -1,0 +1,11 @@
+//! L005 fixture: every exit names a documented constant.
+
+pub const EXIT_OK: i32 = 0;
+pub const EXIT_USAGE: i32 = 2;
+
+pub fn bail(ok: bool) {
+    if ok {
+        std::process::exit(EXIT_OK);
+    }
+    std::process::exit(crate::EXIT_USAGE);
+}

@@ -1,0 +1,17 @@
+//! Pragma fixture: malformed, reason-less, and dead pragmas.
+
+pub fn bad_pragmas(r: Result<u32, ()>) -> u32 {
+    // A reason-less pragma is P000 and must NOT suppress the finding:
+    let a = r.unwrap(); // lint: allow(L001)
+    a
+}
+
+// lint: allow(L003, reason = "suppresses nothing below - P001")
+pub fn no_cast_here() -> u32 {
+    7
+}
+
+// lint: gibberish(L001)
+pub fn after_gibberish() -> u32 {
+    8
+}

@@ -1,0 +1,13 @@
+//! Pragma fixture: well-formed suppressions in all three placements.
+
+pub fn suppressed(v: u128, r: Result<u32, ()>) -> u32 {
+    let a = (v >> 120) as u8; // lint: allow(L003, reason = "top byte, mask by shift width")
+    // lint: allow(L001, reason = "caller contract guarantees Ok here")
+    let b = r.unwrap();
+    u32::from(a) + b
+}
+
+// lint: allow-file(L002, reason = "scratch module; output never reaches products")
+pub fn wall_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}

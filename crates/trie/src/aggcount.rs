@@ -10,6 +10,7 @@
 //! because `n_p = 1 + |{ adjacent pairs with common prefix < p bits }|`.
 
 use crate::{AddrSet, DensePrefix};
+use v6census_addr::cast::checked_usize;
 use v6census_addr::{Addr, Prefix};
 
 /// Active aggregate counts `n_p` for every prefix length p in 0..=128.
@@ -35,16 +36,17 @@ impl AggregateCounts {
         // hist[c] = number of adjacent pairs whose common prefix is exactly
         // c bits (c in 0..=127; equal keys can't occur in a set).
         let mut hist = [0u64; 128];
-        for w in keys.windows(2) {
-            let cpl = (w[0] ^ w[1]).leading_zeros() as usize;
+        for (a, b) in keys.iter().zip(keys.iter().skip(1)) {
+            let cpl = checked_usize(u128::from((a ^ b).leading_zeros()));
             hist[cpl] += 1;
         }
         // n_p = 1 + sum of hist[c] for c < p.
         let mut acc = 1u64;
-        counts[0] = acc;
-        for p in 1..=128usize {
-            acc += hist[p - 1];
-            counts[p] = acc;
+        for (p, c) in counts.iter_mut().enumerate() {
+            if let Some(prev) = p.checked_sub(1) {
+                acc += hist[prev];
+            }
+            *c = acc;
         }
         AggregateCounts {
             counts,
@@ -57,7 +59,7 @@ impl AggregateCounts {
     /// # Panics
     /// Panics if `p > 128`.
     pub fn n(&self, p: u8) -> u64 {
-        self.counts[p as usize]
+        self.counts[usize::from(p)]
     }
 
     /// The number of addresses in the underlying set (= `n_128`).
@@ -71,11 +73,11 @@ impl AggregateCounts {
     /// # Panics
     /// Panics if `p + k > 128`.
     pub fn ratio(&self, p: u8, k: u8) -> f64 {
-        assert!(p as u16 + k as u16 <= 128, "segment exceeds /128");
+        assert!(u16::from(p) + u16::from(k) <= 128, "segment exceeds /128");
         if self.total == 0 {
             return 1.0;
         }
-        self.counts[(p + k) as usize] as f64 / self.counts[p as usize] as f64
+        self.counts[usize::from(p) + usize::from(k)] as f64 / self.counts[usize::from(p)] as f64
     }
 
     /// All γ^k_p for p = 0, k, 2k, … — one curve of an MRA plot. The
@@ -102,15 +104,15 @@ pub fn populations(set: &AddrSet, p: u8) -> Vec<u64> {
     assert!(p <= 128, "prefix length out of range");
     let keys = set.keys();
     let mut out = Vec::new();
-    if keys.is_empty() {
+    let Some(&first) = keys.first() else {
         return out;
-    }
+    };
     let mask = if p == 0 {
         0u128
     } else {
-        u128::MAX << (128 - p as u32)
+        u128::MAX << (128 - p)
     };
-    let mut cur = keys[0] & mask;
+    let mut cur = first & mask;
     let mut run = 0u64;
     for &k in keys {
         let m = k & mask;
@@ -136,15 +138,15 @@ pub fn dense_prefixes_at(set: &AddrSet, n: u64, p: u8) -> Vec<DensePrefix> {
     assert!(n >= 1, "density numerator must be at least 1");
     let keys = set.keys();
     let mut out = Vec::new();
-    if keys.is_empty() {
+    let Some(&first) = keys.first() else {
         return out;
-    }
+    };
     let mask = if p == 0 {
         0u128
     } else {
-        u128::MAX << (128 - p as u32)
+        u128::MAX << (128 - p)
     };
-    let mut cur = keys[0] & mask;
+    let mut cur = first & mask;
     let mut run = 0u64;
     let flush = |block: u128, run: u64, out: &mut Vec<DensePrefix>| {
         if run >= n {

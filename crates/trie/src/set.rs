@@ -37,7 +37,7 @@ impl AddrSet {
     /// Panics (in debug builds) if the input is not strictly increasing.
     pub fn from_sorted(keys: Vec<u128>) -> AddrSet {
         debug_assert!(
-            keys.windows(2).all(|w| w[0] < w[1]),
+            keys.iter().zip(keys.iter().skip(1)).all(|(a, b)| a < b),
             "keys not strictly sorted"
         );
         AddrSet { keys }
@@ -155,7 +155,7 @@ impl AddrSet {
         let mask = if len == 0 {
             0
         } else {
-            u128::MAX << (128 - len as u32)
+            u128::MAX << (128 - len)
         };
         let mut last: Option<u128> = None;
         for &k in &self.keys {

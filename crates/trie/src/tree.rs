@@ -4,6 +4,7 @@
 //! longest-prefix-match map used for BGP routing tables.
 
 use std::fmt;
+use v6census_addr::cast::checked_u8;
 use v6census_addr::{Addr, Prefix};
 
 /// Structured failure of a trie structural operation.
@@ -273,7 +274,7 @@ impl RadixTree {
 
         if node.prefix.contains(p) {
             // Descend: branch on the first bit of p beyond node's prefix.
-            let bit = p.addr().bit(node.prefix.len() as usize) as usize;
+            let bit = usize::from(p.addr().bit(usize::from(node.prefix.len())));
             return Self::insert_into(&mut node.children[bit], p, count, created, depth + 1);
         }
 
@@ -291,7 +292,7 @@ impl RadixTree {
 
         if p.contains(old.prefix) {
             // p is an ancestor of the current node: splice a new node in.
-            let bit = old.prefix.addr().bit(p.len() as usize) as usize;
+            let bit = usize::from(old.prefix.addr().bit(usize::from(p.len())));
             let mut new_node = Node::leaf(p, count);
             new_node.children[bit] = Some(old);
             *slot = Some(new_node);
@@ -309,8 +310,8 @@ impl RadixTree {
             .min(p.len())
             .min(old.prefix.len());
         let branch_prefix = Prefix::new(p.addr(), cpl);
-        let old_bit = old.prefix.addr().bit(cpl as usize) as usize;
-        let new_bit = p.addr().bit(cpl as usize) as usize;
+        let old_bit = usize::from(old.prefix.addr().bit(usize::from(cpl)));
+        let new_bit = usize::from(p.addr().bit(usize::from(cpl)));
         debug_assert_ne!(old_bit, new_bit, "divergence must separate the keys");
         if old_bit == new_bit {
             // Release-build recovery: installing both subtrees on one
@@ -340,7 +341,7 @@ impl RadixTree {
             if !node.prefix.contains(p) {
                 return 0;
             }
-            let bit = p.addr().bit(node.prefix.len() as usize) as usize;
+            let bit = usize::from(p.addr().bit(usize::from(node.prefix.len())));
             cur = &node.children[bit];
         }
         0
@@ -355,8 +356,9 @@ impl RadixTree {
                 if node.count > 0 {
                     out.push((node.prefix, node.count));
                 }
-                walk(&node.children[0], out);
-                walk(&node.children[1], out);
+                let [c0, c1] = &node.children;
+                walk(c0, out);
+                walk(c1, out);
             }
         }
         walk(&self.root, &mut out);
@@ -377,7 +379,7 @@ impl RadixTree {
             }
             // p is strictly inside node's block; node.count belongs to the
             // shorter node.prefix, so only the matching child can intersect.
-            let bit = p.addr().bit(node.prefix.len() as usize) as usize;
+            let bit = usize::from(p.addr().bit(usize::from(node.prefix.len())));
             // node's own count sits at node.prefix which is outside p
             // (shorter), so only the matching child subtree can intersect.
             cur = &node.children[bit];
@@ -411,8 +413,8 @@ impl RadixTree {
         if s >= n {
             // Minimal length at which s addresses meet density n/2^(128-p):
             //   s >= n * 2^(p - L)  <=>  L >= p - floor(log2(s / n))
-            let k_max = 63 - (s / n).leading_zeros() as i32; // floor(log2(s/n))
-            let l_min = (p as i32 - k_max).max(0) as u8;
+            let k_max = 63 - (s / n).leading_zeros(); // floor(log2(s/n))
+            let l_min = p.saturating_sub(checked_u8(u128::from(k_max)));
             let hi = node.prefix.len().min(127);
             if l_min <= hi {
                 let at = l_min.max(lo);
@@ -444,13 +446,13 @@ impl RadixTree {
             }
             if len <= p {
                 // count >= n * 2^(p-len), saturating.
-                let shift = (p - len) as u32;
+                let shift = u32::from(p - len);
                 if shift >= 64 {
                     return false;
                 }
                 n.checked_shl(shift).is_some_and(|t| count >= t)
             } else {
-                let shift = (len - p) as u32;
+                let shift = u32::from(len - p);
                 if shift >= 64 {
                     return true;
                 }
@@ -559,11 +561,11 @@ impl RadixTree {
                 // Splice pass-through nodes (count 0, single child).
                 if node.count == 0 {
                     let kids: Vec<usize> = (0..2).filter(|&i| node.children[i].is_some()).collect();
-                    if kids.len() == 1 {
+                    if let [only_idx] = kids[..] {
                         // The filter above proved this child occupied; the
                         // `if let` makes a (impossible) miss a no-op splice
                         // rather than a panic.
-                        if let Some(only) = node.children[kids[0]].take() {
+                        if let Some(only) = node.children[only_idx].take() {
                             *slot = Some(only);
                             *removed += 1;
                         }
@@ -749,7 +751,7 @@ impl<T> PrefixMap<T> {
             None => Action::Create,
             Some(node) if node.prefix == p => Action::Found,
             Some(node) if node.prefix.contains(p) => {
-                Action::Descend(p.addr().bit(node.prefix.len() as usize) as usize)
+                Action::Descend(usize::from(p.addr().bit(usize::from(node.prefix.len()))))
             }
             Some(node) if p.contains(node.prefix) => Action::SpliceAbove,
             Some(node) => {
@@ -789,7 +791,7 @@ impl<T> PrefixMap<T> {
                     debug_assert!(false, "splice node vanished");
                     return Err(corrupt("map/splice"));
                 };
-                let bit = old.prefix.addr().bit(p.len() as usize) as usize;
+                let bit = usize::from(old.prefix.addr().bit(usize::from(p.len())));
                 let mut new_node = Box::new(MapNode {
                     prefix: p,
                     value: None,
@@ -804,7 +806,7 @@ impl<T> PrefixMap<T> {
                     debug_assert!(false, "branch node vanished");
                     return Err(corrupt("map/branch"));
                 };
-                let old_bit = old.prefix.addr().bit(branch_prefix.len() as usize) as usize;
+                let old_bit = usize::from(old.prefix.addr().bit(usize::from(branch_prefix.len())));
                 let mut branch = Box::new(MapNode {
                     prefix: branch_prefix,
                     value: None,
@@ -830,7 +832,7 @@ impl<T> PrefixMap<T> {
             if !node.prefix.contains(p) {
                 return None;
             }
-            let bit = p.addr().bit(node.prefix.len() as usize) as usize;
+            let bit = usize::from(p.addr().bit(usize::from(node.prefix.len())));
             cur = &node.children[bit];
         }
         None
@@ -851,7 +853,7 @@ impl<T> PrefixMap<T> {
             if node.prefix.len() == 128 {
                 break;
             }
-            let bit = a.bit(node.prefix.len() as usize) as usize;
+            let bit = usize::from(a.bit(usize::from(node.prefix.len())));
             cur = &node.children[bit];
         }
         best
@@ -865,8 +867,9 @@ impl<T> PrefixMap<T> {
                 if let Some(v) = &node.value {
                     out.push((node.prefix, v));
                 }
-                walk(&node.children[0], out);
-                walk(&node.children[1], out);
+                let [c0, c1] = &node.children;
+                walk(c0, out);
+                walk(c1, out);
             }
         }
         walk(&self.root, &mut out);
