@@ -1,5 +1,6 @@
 //! The [`Addr`] type: a 128-bit IPv6 address.
 
+use crate::bits::{high_mask, msb_mask, shl128, shr128};
 use crate::cast::{checked_nybble, checked_seg, checked_u16, checked_u32, checked_u8};
 use crate::ParseError;
 use std::fmt;
@@ -75,7 +76,7 @@ impl Addr {
     /// Panics if `i >= 8`.
     pub const fn segment(self, i: usize) -> u16 {
         assert!(i < 8, "segment index out of range");
-        checked_seg((self.0 >> (112 - 16 * i)) & 0xffff)
+        checked_seg(shr128(self.0, 112 - 16 * i) & 0xffff)
     }
 
     /// Returns nybble (hex character) `i` (0..32), nybble 0 most significant.
@@ -84,7 +85,7 @@ impl Addr {
     /// Panics if `i >= 32`.
     pub const fn nybble(self, i: usize) -> u8 {
         assert!(i < 32, "nybble index out of range");
-        checked_nybble((self.0 >> (124 - 4 * i)) & 0xf)
+        checked_nybble(shr128(self.0, 124 - 4 * i) & 0xf)
     }
 
     /// Returns bit `i` (0..128) as 0 or 1; bit 0 is the most significant.
@@ -93,7 +94,7 @@ impl Addr {
     /// Panics if `i >= 128`.
     pub const fn bit(self, i: usize) -> u8 {
         assert!(i < 128, "bit index out of range");
-        checked_u8((self.0 >> (127 - i)) & 1)
+        checked_u8(shr128(self.0, 127 - i) & 1)
     }
 
     /// Returns a copy with bit `i` set to `v` (0 or 1); bit 0 is the most
@@ -103,7 +104,7 @@ impl Addr {
     /// Panics if `i >= 128`.
     pub const fn with_bit(self, i: usize, v: u8) -> Addr {
         assert!(i < 128, "bit index out of range");
-        let mask = 1u128 << (127 - i);
+        let mask = msb_mask(i);
         if v == 0 {
             Addr(self.0 & !mask)
         } else {
@@ -128,13 +129,7 @@ impl Addr {
     /// Panics if `len > 128`.
     pub const fn mask(self, len: u8) -> Addr {
         assert!(len <= 128, "prefix length out of range");
-        if len == 0 {
-            Addr(0)
-        } else {
-            // `128 - len` stays in u8 (len <= 128 is asserted above);
-            // shifting u128 by u8 is lossless, no widening cast needed.
-            Addr(self.0 & (u128::MAX << (128 - len)))
-        }
+        Addr(self.0 & high_mask(len))
     }
 
     /// Length of the longest common prefix of `self` and `other`, in bits
@@ -208,7 +203,7 @@ impl Addr {
                 return Err(ParseError::TooManyGroups);
             }
             // Nybbles arrive least-significant first.
-            v |= (d as u128) << (4 * count);
+            v |= shl128(d as u128, 4 * count);
             count += 1;
         }
         if count != 32 {
@@ -379,7 +374,9 @@ fn parse_v4(s: &str) -> Result<[u8; 4], ParseError> {
         let mut v: u16 = 0;
         for c in part.chars() {
             let d = c.to_digit(10).ok_or(ParseError::BadIpv4Tail)?;
-            v = v * 10 + checked_u16(u128::from(d));
+            // Widen before the arithmetic: three decimal digits cannot
+            // overflow u128, and the narrowing back is checked.
+            v = checked_u16(u128::from(v) * 10 + u128::from(d));
             if v > 255 {
                 return Err(ParseError::BadIpv4Tail);
             }

@@ -1,0 +1,132 @@
+//! Audited total bit-manipulation helpers for 128-bit address math.
+//!
+//! Lint rule `L006` bans bare shifts-by-expression (and bare `+ - *` on
+//! sized integers) inside the bit-math crates: `x << n` panics in debug
+//! builds — and wraps the shift *amount* in release — once `n` reaches
+//! the type's width, and in prefix arithmetic that width is always one
+//! off-by-one away (`128 - len` with `len == 0`). These helpers are the
+//! sanctioned path: every shift goes through `checked_shl`/`checked_shr`
+//! with an explicit out-of-range policy — shifting everything out yields
+//! 0, the mathematical answer for a logical shift — so call sites state
+//! what they mean and cannot panic.
+//!
+//! Everything here is a `const fn` so the `Addr` accessors, which are
+//! `const`, can use them. Shift amounts are `usize` because that is what
+//! bit/nybble loop indices naturally are; the helpers bound-check before
+//! narrowing so the `usize → u32` step is provably lossless.
+
+use crate::cast::{checked_u32, checked_usize};
+
+/// Logical left shift, total: shifting by `n >= 128` yields 0.
+#[inline]
+#[must_use]
+pub const fn shl128(v: u128, n: usize) -> u128 {
+    if n >= 128 {
+        0
+    } else {
+        // n < 128 here, so the widen-then-checked-narrow is lossless.
+        match v.checked_shl(checked_u32(n as u128)) {
+            Some(x) => x,
+            None => 0,
+        }
+    }
+}
+
+/// Logical right shift, total: shifting by `n >= 128` yields 0.
+#[inline]
+#[must_use]
+pub const fn shr128(v: u128, n: usize) -> u128 {
+    if n >= 128 {
+        0
+    } else {
+        match v.checked_shr(checked_u32(n as u128)) {
+            Some(x) => x,
+            None => 0,
+        }
+    }
+}
+
+/// Logical right shift on the 64-bit IID half, total: `n >= 64` yields 0.
+#[inline]
+#[must_use]
+pub const fn shr64(v: u64, n: usize) -> u64 {
+    if n >= 64 {
+        0
+    } else {
+        match v.checked_shr(checked_u32(n as u128)) {
+            Some(x) => x,
+            None => 0,
+        }
+    }
+}
+
+/// The mask selecting address bit `i`, where bit 0 is the most
+/// significant (the paper's bit order); 0 once `i` is off the end.
+#[inline]
+#[must_use]
+pub const fn msb_mask(i: usize) -> u128 {
+    shr128(1u128 << 127, i)
+}
+
+/// [`msb_mask`] for `u8` bit positions (prefix lengths), total the
+/// same way.
+#[inline]
+#[must_use]
+pub const fn msb_mask8(i: u8) -> u128 {
+    msb_mask(checked_usize(i as u128))
+}
+
+/// The mask with the top `len` bits set — the network part of a `/len`
+/// prefix. Total: `len == 0` yields 0 and `len >= 128` yields all ones.
+#[inline]
+#[must_use]
+pub const fn high_mask(len: u8) -> u128 {
+    let n = len as u128;
+    if n >= 128 {
+        u128::MAX
+    } else {
+        // 128 - n is in 1..=128 (n < 128 just checked) and fits u32;
+        // checked_shl(128) is None exactly when len == 0, whose mask
+        // is the empty mask.
+        match u128::MAX.checked_shl(checked_u32(128 - n)) {
+            Some(x) => x,
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shifts_are_total_at_and_past_the_width() {
+        assert_eq!(shl128(1, 127), 1u128 << 127);
+        assert_eq!(shl128(1, 128), 0);
+        assert_eq!(shl128(u128::MAX, 1 << 20), 0);
+        assert_eq!(shr128(u128::MAX, 127), 1);
+        assert_eq!(shr128(u128::MAX, 128), 0);
+        assert_eq!(shr64(u64::MAX, 63), 1);
+        assert_eq!(shr64(u64::MAX, 64), 0);
+    }
+
+    #[test]
+    fn masks_match_their_closed_forms() {
+        assert_eq!(msb_mask(0), 1u128 << 127);
+        assert_eq!(msb_mask(127), 1);
+        assert_eq!(msb_mask(128), 0);
+        assert_eq!(msb_mask8(64), 1u128 << 63);
+        assert_eq!(msb_mask8(255), 0);
+        assert_eq!(high_mask(0), 0);
+        assert_eq!(high_mask(1), 1u128 << 127);
+        assert_eq!(high_mask(64), u128::from(u64::MAX) << 64);
+        assert_eq!(high_mask(128), u128::MAX);
+        assert_eq!(high_mask(200), u128::MAX);
+    }
+
+    #[test]
+    fn works_in_const_context() {
+        const TOP: u128 = high_mask(48);
+        assert_eq!(TOP, 0xffff_ffff_ffff_u128 << 80);
+    }
+}

@@ -7,6 +7,7 @@
 //! assignment, and apparent randomness typical of RFC 4941 privacy
 //! addresses.
 
+use crate::bits::shr64;
 use crate::cast::{checked_nybble, checked_u32, checked_u8};
 use crate::{Addr, Mac};
 
@@ -132,11 +133,12 @@ pub fn iid_entropy_bits(iid: Iid) -> f64 {
     let mut transitions = 0u32;
     let mut prev: Option<u8> = None;
     for i in 0..16 {
-        let n = checked_nybble(((iid.0 >> (60 - 4 * i)) & 0xf) as u128);
+        let n = checked_nybble((shr64(iid.0, 60 - 4 * i) & 0xf) as u128);
         counts[usize::from(n)] += 1;
         if let Some(p) = prev {
             if p != n {
-                transitions += 1;
+                // 15 transitions at most; saturation spells the policy.
+                transitions = transitions.saturating_add(1);
             }
         }
         prev = Some(n);

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod addr;
+pub mod bits;
 pub mod cast;
 mod error;
 mod iid;

@@ -1,14 +1,15 @@
 //! 48-bit MAC addresses and the modified EUI-64 interface-identifier
 //! encoding used by SLAAC (RFC 4291 §2.5.1, RFC 4862).
 
+use crate::bits::shr64;
 use crate::cast::{checked_u32, checked_u8};
 use std::fmt;
 use std::str::FromStr;
 
 /// Extracts the byte at `shift` from a packed integer — the crate's
 /// checked-narrowing idiom for the EUI-64 bit shuffles below.
-const fn byte(v: u64, shift: u32) -> u8 {
-    checked_u8(((v >> shift) & 0xff) as u128)
+const fn byte(v: u64, shift: usize) -> u8 {
+    checked_u8((shr64(v, shift) & 0xff) as u128)
 }
 
 /// A 48-bit IEEE 802 MAC address.

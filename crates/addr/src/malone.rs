@@ -12,6 +12,7 @@
 //! integration tests quantify the gap between the two on synthetic ground
 //! truth.
 
+use crate::bits::shr64;
 use crate::{iid_entropy_bits, Addr, Iid};
 
 /// The verdict of the content-only baseline classifier.
@@ -54,7 +55,7 @@ pub fn classify_content_only(a: Addr) -> MaloneVerdict {
     // "large" (top nybble non-zero): a uniform IID passes with
     // probability (15/16)^4 ≈ 0.77 — the origin of the ≈73% expected
     // accuracy the paper quotes (§2).
-    let all_groups_large = (0..4).all(|i| (iid.0 >> (48 - 16 * i)) & 0xf000 != 0);
+    let all_groups_large = (0..4).all(|i| shr64(iid.0, 48 - 16 * i) & 0xf000 != 0);
     if all_groups_large && iid_entropy_bits(iid) >= crate::scheme::PSEUDORANDOM_ENTROPY_BITS {
         MaloneVerdict::LikelyPrivacy
     } else {

@@ -1,5 +1,6 @@
 //! The [`Prefix`] type: an IPv6 address block `addr/len`.
 
+use crate::bits::{high_mask, msb_mask8};
 use crate::{Addr, ParseError};
 use std::fmt;
 use std::str::FromStr;
@@ -68,20 +69,14 @@ impl Prefix {
     /// Number of addresses the block spans: 2^(128−len). Returns `None`
     /// for `::/0`, whose span (2^128) does not fit in `u128`.
     pub const fn span(self) -> Option<u128> {
-        if self.len == 0 {
-            None
-        } else {
-            Some(1u128 << (128 - self.len))
-        }
+        // 2^(128−len) is one past the host mask; the add overflows u128
+        // exactly for `::/0`, whose span (2^128) is unrepresentable.
+        (!high_mask(self.len)).checked_add(1)
     }
 
     /// The last address inside the block.
     pub const fn last_addr(self) -> Addr {
-        if self.len == 0 {
-            Addr(u128::MAX)
-        } else {
-            Addr(self.addr.0 | (u128::MAX >> self.len))
-        }
+        Addr(self.addr.0 | !high_mask(self.len))
     }
 
     /// True when `a` lies inside this block.
@@ -104,7 +99,7 @@ impl Prefix {
         if self.len == 0 {
             None
         } else {
-            Some(Prefix::new(self.addr, self.len - 1))
+            Some(Prefix::new(self.addr, self.len.saturating_sub(1)))
         }
     }
 
@@ -113,13 +108,14 @@ impl Prefix {
         if self.len == 128 {
             None
         } else {
+            // len < 128 here, so the saturating add never saturates.
             let left = Prefix {
                 addr: self.addr,
-                len: self.len + 1,
+                len: self.len.saturating_add(1),
             };
             let right = Prefix {
-                addr: Addr(self.addr.0 | (1u128 << (127 - self.len))),
-                len: self.len + 1,
+                addr: Addr(self.addr.0 | msb_mask8(self.len)),
+                len: self.len.saturating_add(1),
             };
             Some((left, right))
         }

@@ -1,0 +1,69 @@
+//! Benchmarks the full `v6census-lint` pipeline — scan, lex, symbol
+//! table, call graph, per-file rules, semantic rules — over the
+//! workspace at HEAD, and emits a `BENCH_lint.json` point (files
+//! scanned, findings, wall ms) so later PRs can track lint throughput
+//! as the rule set and the codebase grow.
+//!
+//! `BENCH_QUICK=1` trims samples for CI smoke runs.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use lint::engine::{lint_workspace, load_config, SeverityMap};
+use v6census_bench::Opts;
+
+fn main() {
+    let opts = Opts::parse();
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let cfg = load_config(&root).expect("lint.toml parses");
+    let severities = SeverityMap::default();
+
+    let samples = if std::env::var_os("BENCH_QUICK").is_some() {
+        3
+    } else {
+        10
+    };
+
+    // Warm-up pass; also the source of the scan/finding counts.
+    let report = lint_workspace(&root, &cfg, &severities).expect("workspace lints");
+    let files_scanned = report.files_scanned;
+    let findings = report.diagnostics.len();
+    let suppressed = report.suppressed_count();
+
+    let mut times: Vec<f64> = Vec::new();
+    for _ in 0..samples {
+        let start = Instant::now();
+        let run = lint_workspace(&root, &cfg, &severities).expect("workspace lints");
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            run.files_scanned, files_scanned,
+            "scan must be deterministic"
+        );
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let (min, median) = (times[0], times[times.len() / 2]);
+    let files_per_sec = f64::from(u32::try_from(files_scanned).unwrap_or(u32::MAX)) / (min / 1e3);
+
+    println!(
+        "lint_workspace  {files_scanned} files, {findings} findings ({suppressed} suppressed)"
+    );
+    println!(
+        "                min {min:>8.2}ms   median {median:>8.2}ms   {files_per_sec:>8.0} files/s"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"lint_speed\",");
+    let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(json, "  \"files_scanned\": {files_scanned},");
+    let _ = writeln!(json, "  \"findings\": {findings},");
+    let _ = writeln!(json, "  \"suppressed\": {suppressed},");
+    let _ = writeln!(json, "  \"wall_ms_min\": {min:.3},");
+    let _ = writeln!(json, "  \"wall_ms_median\": {median:.3},");
+    let _ = writeln!(json, "  \"files_per_sec\": {files_per_sec:.1}");
+    json.push_str("}\n");
+    opts.emit("BENCH_lint.json", &json);
+}

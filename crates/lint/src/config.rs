@@ -71,6 +71,15 @@ impl Config {
     pub fn has_section(&self, section: &str) -> bool {
         self.sections.contains_key(section)
     }
+
+    /// True when `rel` is inside one of the rule's configured `paths`
+    /// prefixes. A rule with no configured paths applies everywhere
+    /// (the permissive default keeps fixture tests config-free; the
+    /// checked-in `lint.toml` scopes every rule explicitly).
+    pub fn rule_applies(&self, rule_id: &str, rel: &str) -> bool {
+        let paths = self.list(&format!("rules.{rule_id}"), "paths");
+        paths.is_empty() || paths.iter().any(|p| rel.starts_with(p.as_str()))
+    }
 }
 
 /// Strips a trailing `#` comment, respecting double-quoted strings.

@@ -7,13 +7,16 @@
 //! unused-pragma). This is what makes "every surviving allow pragma
 //! carries a reason" machine-checked rather than reviewed.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::report::{Diagnostic, Report, Severity};
-use crate::rules::{registry, Rule};
+use crate::rules::{registry, semantic_registry, Workspace};
 use crate::scan::{scan, ScannedFile};
+use crate::symbols::SymbolTable;
 
 /// Severity overrides from `--deny <rule>` / `--warn <rule>` flags,
 /// applied in order; `all` matches every rule. Default is `Deny`.
@@ -73,32 +76,80 @@ pub fn lint_workspace(
 
 /// Lints an explicit file list. Paths are made workspace-relative
 /// against `root` for scope matching and diagnostics.
+///
+/// Runs in two layers: the per-file lexical rules over each scanned
+/// file, then the semantic rules (`L007`, `R001`) over the symbol
+/// table and call graph built from *all* the files together. Pragma
+/// application and accountability happen last, per file, so an
+/// `allow(R001, …)` next to a reachable panic site both suppresses the
+/// finding and is itself checked for staleness (`P001`).
 pub fn lint_files(
     root: &Path,
     files: &[PathBuf],
     cfg: &Config,
     severities: &SeverityMap,
 ) -> Result<Report, EngineError> {
-    let rules = registry();
-    let mut report = Report::default();
+    let mut scanned: Vec<ScannedFile> = Vec::with_capacity(files.len());
     for path in files {
         let text = fs::read_to_string(path)
             .map_err(|e| EngineError::Io(format!("{}: {e}", path.display())))?;
         let rel = relative_slash(root, path);
-        let file = scan(path.clone(), rel, &text);
-        let mut file_diags: Vec<Diagnostic> = Vec::new();
+        scanned.push(scan(path.clone(), rel, &text));
+    }
+
+    // Layer 1: per-file lexical rules.
+    let rules = registry();
+    let mut all: Vec<Diagnostic> = Vec::new();
+    for file in &scanned {
         for rule in &rules {
-            if !rule_applies(cfg, rule.as_ref(), &file.rel) {
+            if !cfg.rule_applies(rule.id(), &file.rel) {
                 continue;
             }
-            rule.check(&file, cfg, &mut file_diags);
+            rule.check(file, cfg, &mut all);
         }
-        apply_pragmas(&file, &mut file_diags);
+    }
+
+    // Layer 2: workspace-level semantic rules over the symbol table
+    // and call graph.
+    let symbols = SymbolTable::build(&scanned);
+    let calls = CallGraph::build(&symbols, &scanned);
+    let ws = Workspace {
+        files: &scanned,
+        symbols: &symbols,
+        calls: &calls,
+    };
+    for rule in semantic_registry() {
+        let mut out = Vec::new();
+        rule.check(&ws, cfg, &mut out);
+        out.retain(|d| cfg.rule_applies(rule.id(), &d.rel));
+        all.append(&mut out);
+    }
+
+    // Layer 3: pragma application and severity mapping, per file.
+    let mut by_rel: BTreeMap<&str, Vec<Diagnostic>> = BTreeMap::new();
+    for d in all {
+        // Keys borrow from `scanned`; a diagnostic always anchors to a
+        // scanned file, but route any stranger to the report unchanged.
+        match scanned.iter().find(|f| f.rel == d.rel) {
+            Some(f) => by_rel.entry(f.rel.as_str()).or_default().push(d),
+            None => by_rel.entry("").or_default().push(d),
+        }
+    }
+    let mut report = Report::default();
+    for file in &scanned {
+        let mut file_diags = by_rel.remove(file.rel.as_str()).unwrap_or_default();
+        apply_pragmas(file, &mut file_diags);
         for d in &mut file_diags {
             d.severity = severities.severity_of(&d.rule);
         }
         report.diagnostics.append(&mut file_diags);
         report.files_scanned += 1;
+    }
+    for (_, mut rest) in by_rel {
+        for d in &mut rest {
+            d.severity = severities.severity_of(&d.rule);
+        }
+        report.diagnostics.append(&mut rest);
     }
     Ok(report)
 }
@@ -130,15 +181,6 @@ pub fn find_root(start: &Path) -> PathBuf {
             None => return start.to_path_buf(),
         }
     }
-}
-
-/// True when `rel` is inside one of the rule's configured `paths`
-/// prefixes. A rule with no configured paths applies everywhere (the
-/// permissive default keeps fixture tests config-free; the checked-in
-/// `lint.toml` scopes every rule explicitly).
-fn rule_applies(cfg: &Config, rule: &dyn Rule, rel: &str) -> bool {
-    let paths = cfg.list(&format!("rules.{}", rule.id()), "paths");
-    paths.is_empty() || paths.iter().any(|p| rel.starts_with(p.as_str()))
 }
 
 /// All `.rs` files under `<root>/src` and `<root>/crates/*/src`, sorted
@@ -250,6 +292,7 @@ fn pragma_diag(
         line,
         message,
         snippet,
+        chain: None,
         severity: Severity::Deny,
         suppressed: false,
     }
@@ -313,17 +356,10 @@ mod tests {
     #[test]
     fn rule_scoping_follows_config() {
         let cfg = Config::parse("[rules.L003]\npaths = [\"crates/addr/src\"]\n").expect("parses");
-        let rules = registry();
-        let l003 = rules.iter().find(|r| r.id() == "L003").expect("registered");
-        assert!(rule_applies(&cfg, l003.as_ref(), "crates/addr/src/addr.rs"));
-        assert!(!rule_applies(
-            &cfg,
-            l003.as_ref(),
-            "crates/census/src/tables.rs"
-        ));
-        let l001 = rules.iter().find(|r| r.id() == "L001").expect("registered");
+        assert!(cfg.rule_applies("L003", "crates/addr/src/addr.rs"));
+        assert!(!cfg.rule_applies("L003", "crates/census/src/tables.rs"));
         assert!(
-            rule_applies(&cfg, l001.as_ref(), "anything.rs"),
+            cfg.rule_applies("L001", "anything.rs"),
             "unscoped rules apply everywhere"
         );
     }

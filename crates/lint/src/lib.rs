@@ -15,8 +15,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod config;
 pub mod engine;
+pub mod lexer;
+pub mod reach;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod symbols;

@@ -1,9 +1,10 @@
 //! `v6census-lint` — the workspace's static-analysis gate.
 //!
 //! ```text
-//! cargo run -p lint -- --workspace                # human diagnostics
-//! cargo run -p lint -- --workspace --deny all     # CI gate
-//! cargo run -p lint -- --format json path/to.rs   # machine output
+//! cargo run -p lint -- --workspace                  # human diagnostics
+//! cargo run -p lint -- --workspace --deny all       # CI gate
+//! cargo run -p lint -- --format json path/to.rs     # machine output
+//! cargo run -p lint -- --workspace --format github  # PR annotations
 //! ```
 //!
 //! Exit codes follow the workspace contract: 0 clean, 1 denied
@@ -14,7 +15,7 @@ use std::process::ExitCode;
 
 use lint::engine::{find_root, lint_files, lint_workspace, load_config, SeverityMap};
 use lint::report::Severity;
-use lint::rules::registry;
+use lint::rules::{registry, semantic_registry};
 
 const USAGE: &str = "\
 v6census-lint: static analysis for the v6census workspace
@@ -26,7 +27,9 @@ OPTIONS:
     --workspace          lint every .rs file under src/ and crates/*/src/
     --deny <rule|all>    treat a rule's findings as fatal (default: all deny)
     --warn <rule|all>    report a rule's findings without failing
-    --format <human|json>  output format (default: human)
+    --format <human|json|github>  output format (default: human);
+                         `github` emits ::error/::warning workflow
+                         annotations for Actions
     --config <path>      lint config (default: <root>/lint.toml)
     --root <path>        workspace root (default: discovered from cwd)
     --list-rules         print the rule registry and exit
@@ -38,11 +41,18 @@ EXIT CODES:
     2  usage or configuration error
 ";
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Github,
+}
+
 struct Args {
     workspace: bool,
     files: Vec<PathBuf>,
     severities: SeverityMap,
-    json: bool,
+    format: Format,
     config: Option<PathBuf>,
     root: Option<PathBuf>,
     list_rules: bool,
@@ -53,7 +63,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         workspace: false,
         files: Vec::new(),
         severities: SeverityMap::default(),
-        json: false,
+        format: Format::Human,
         config: None,
         root: None,
         list_rules: false,
@@ -75,9 +85,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.severities.push(rule, sev);
             }
             "--format" => match it.next().map(String::as_str) {
-                Some("human") => args.json = false,
-                Some("json") => args.json = true,
-                other => return Err(format!("--format expects `human` or `json`, got {other:?}")),
+                Some("human") => args.format = Format::Human,
+                Some("json") => args.format = Format::Json,
+                Some("github") => args.format = Format::Github,
+                other => {
+                    return Err(format!(
+                        "--format expects `human`, `json`, or `github`, got {other:?}"
+                    ))
+                }
             },
             "--config" => {
                 args.config = Some(PathBuf::from(it.next().ok_or("--config requires a path")?));
@@ -105,10 +120,13 @@ fn run() -> Result<ExitCode, String> {
 
     if args.list_rules {
         for rule in registry() {
-            println!("{}  {:<16} {}", rule.id(), rule.name(), rule.describe());
+            println!("{}  {:<24} {}", rule.id(), rule.name(), rule.describe());
         }
-        println!("P000  pragma-syntax    malformed `// lint:` pragma or missing reason");
-        println!("P001  unused-pragma    allow pragma that suppresses nothing");
+        for rule in semantic_registry() {
+            println!("{}  {:<24} {}", rule.id(), rule.name(), rule.describe());
+        }
+        println!("P000  pragma-syntax            malformed `// lint:` pragma or missing reason");
+        println!("P001  unused-pragma            allow pragma that suppresses nothing");
         return Ok(ExitCode::SUCCESS);
     }
 
@@ -130,10 +148,10 @@ fn run() -> Result<ExitCode, String> {
     }
     .map_err(|e| e.to_string())?;
 
-    if args.json {
-        print!("{}", report.render_json());
-    } else {
-        print!("{}", report.render_human());
+    match args.format {
+        Format::Human => print!("{}", report.render_human()),
+        Format::Json => print!("{}", report.render_json()),
+        Format::Github => print!("{}", report.render_github()),
     }
     Ok(if report.exit_code() == 0 {
         ExitCode::SUCCESS

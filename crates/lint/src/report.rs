@@ -14,7 +14,7 @@ pub enum Severity {
 /// One finding.
 #[derive(Clone, Debug)]
 pub struct Diagnostic {
-    /// Stable rule id (`L001` … `L005`, `P000`, `P001`).
+    /// Stable rule id (`L001` … `L007`, `R001`, `P000`, `P001`).
     pub rule: String,
     /// Human rule name (`no-panic-paths`).
     pub name: &'static str,
@@ -26,6 +26,9 @@ pub struct Diagnostic {
     pub message: String,
     /// The offending source line, trimmed.
     pub snippet: String,
+    /// For interprocedural findings (`R001`), the call chain from the
+    /// entry point to the flagged site, `a → b → c` style.
+    pub chain: Option<String>,
     /// Deny or warn, assigned by the engine's severity map.
     pub severity: Severity,
     /// True when an allow pragma suppressed this finding.
@@ -87,6 +90,50 @@ impl Report {
             if !d.snippet.is_empty() {
                 let _ = writeln!(out, "    | {}", d.snippet);
             }
+            if let Some(chain) = &d.chain {
+                let _ = writeln!(out, "    = via: {chain}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "v6census-lint: {} denied, {} warned, {} suppressed by pragma; {} files scanned",
+            self.denied().count(),
+            self.warned().count(),
+            self.suppressed_count(),
+            self.files_scanned
+        );
+        out
+    }
+
+    /// GitHub Actions workflow-command annotations: one
+    /// `::error`/`::warning` line per unsuppressed finding, so findings
+    /// surface inline on the PR diff, followed by the human summary
+    /// line (a plain line, which Actions passes through).
+    pub fn render_github(&self) -> String {
+        let mut out = String::new();
+        let mut shown: Vec<&Diagnostic> =
+            self.diagnostics.iter().filter(|d| !d.suppressed).collect();
+        shown.sort_by(|a, b| (&a.rel, a.line, &a.rule).cmp(&(&b.rel, b.line, &b.rule)));
+        for d in &shown {
+            let level = match d.severity {
+                Severity::Deny => "error",
+                Severity::Warn => "warning",
+            };
+            let mut message = d.message.clone();
+            if let Some(chain) = &d.chain {
+                message.push_str(" (via ");
+                message.push_str(chain);
+                message.push(')');
+            }
+            let _ = writeln!(
+                out,
+                "::{level} file={},line={},title={} {}::{}",
+                d.rel,
+                d.line,
+                d.rule,
+                d.name,
+                github_escape(&message)
+            );
         }
         let _ = writeln!(
             out,
@@ -109,9 +156,13 @@ impl Report {
                 Severity::Deny => "deny",
                 Severity::Warn => "warn",
             };
+            let chain = match &d.chain {
+                Some(c) => json_str(c),
+                None => "null".to_string(),
+            };
             let _ = write!(
                 out,
-                "{}\n    {{\"rule\": {}, \"name\": {}, \"path\": {}, \"line\": {}, \"severity\": {}, \"suppressed\": {}, \"message\": {}, \"snippet\": {}}}",
+                "{}\n    {{\"rule\": {}, \"name\": {}, \"path\": {}, \"line\": {}, \"severity\": {}, \"suppressed\": {}, \"message\": {}, \"snippet\": {}, \"chain\": {}}}",
                 if i == 0 { "" } else { "," },
                 json_str(&d.rule),
                 json_str(d.name),
@@ -121,6 +172,7 @@ impl Report {
                 d.suppressed,
                 json_str(&d.message),
                 json_str(&d.snippet),
+                chain,
             );
         }
         let _ = write!(
@@ -133,6 +185,14 @@ impl Report {
         );
         out
     }
+}
+
+/// Escapes a workflow-command message: `%`, newlines, and carriage
+/// returns must be percent-encoded or GitHub truncates the annotation.
+fn github_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 /// JSON string escaping (control characters, quotes, backslashes).
@@ -168,6 +228,7 @@ mod tests {
             line: 3,
             message: "a \"quoted\" problem".into(),
             snippet: "let x = 1;".into(),
+            chain: None,
             severity: sev,
             suppressed,
         }
@@ -199,5 +260,42 @@ mod tests {
         assert!(json.contains("\"rule\": \"L001\""));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"files_scanned\": 2"));
+        assert!(json.contains("\"chain\": null"));
+    }
+
+    #[test]
+    fn renders_github_annotations() {
+        let mut r = Report {
+            files_scanned: 1,
+            ..Report::default()
+        };
+        let mut d = diag("R001", Severity::Deny, false);
+        d.chain = Some("cli::main → trie::node_at".into());
+        r.diagnostics.push(d);
+        r.diagnostics.push(diag("L002", Severity::Warn, false));
+        r.diagnostics.push(diag("L003", Severity::Deny, true));
+        let gh = r.render_github();
+        assert!(
+            gh.contains("::error file=crates/x/src/lib.rs,line=3,title=R001 test-rule::"),
+            "{gh}"
+        );
+        assert!(gh.contains("(via cli::main → trie::node_at)"), "{gh}");
+        assert!(gh.contains("::warning file="), "{gh}");
+        assert!(!gh.contains("L003"), "suppressed findings are hidden: {gh}");
+    }
+
+    #[test]
+    fn chain_round_trips_through_renderings() {
+        let mut r = Report::default();
+        let mut d = diag("R001", Severity::Deny, false);
+        d.chain = Some("a → b".into());
+        r.diagnostics.push(d);
+        assert!(r.render_human().contains("= via: a → b"));
+        assert!(r.render_json().contains("\"chain\": \"a → b\""));
+    }
+
+    #[test]
+    fn github_escape_encodes_control_sequences() {
+        assert_eq!(github_escape("a%b\nc"), "a%25b%0Ac");
     }
 }

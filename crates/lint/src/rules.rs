@@ -1,27 +1,46 @@
-//! The rule registry: five project-specific contracts with stable ids.
+//! The rule registry: project-specific contracts with stable ids.
 //!
-//! | id   | name            | contract                                         |
-//! |------|-----------------|--------------------------------------------------|
-//! | L001 | no-panic-paths  | no `unwrap`/`expect`/`panic!`/`todo!`/            |
-//! |      |                 | `unimplemented!`/`unreachable!`/literal indexing  |
-//! |      |                 | in non-test library code                          |
-//! | L002 | determinism     | no `HashMap`/`HashSet`, wall-clock reads, or      |
-//! |      |                 | unstable float formatting in modules feeding      |
-//! |      |                 | `equivalence_key` / product output                |
-//! | L003 | cast-safety     | no raw truncating `as u8/u16/u32/usize` in        |
-//! |      |                 | bit/nybble math — use `v6census_addr::cast`       |
-//! | L004 | error-taxonomy  | public `fn -> Result` uses typed errors, not      |
-//! |      |                 | `String` / `Box<dyn Error>`                       |
-//! | L005 | exit-codes      | `process::exit` only with the documented          |
-//! |      |                 | `EXIT_*` constants                                |
+//! Per-file lexical rules:
+//!
+//! | id   | name                     | contract                                |
+//! |------|--------------------------|-----------------------------------------|
+//! | L001 | no-panic-paths           | no `unwrap`/`expect`/`panic!`/`todo!`/  |
+//! |      |                          | `unimplemented!`/`unreachable!`/literal |
+//! |      |                          | indexing in non-test library code       |
+//! | L002 | determinism              | no `HashMap`/`HashSet`, wall-clock      |
+//! |      |                          | reads, or unstable float formatting in  |
+//! |      |                          | modules feeding product output          |
+//! | L003 | cast-safety              | no raw truncating `as u8/u16/u32/usize` |
+//! |      |                          | in bit/nybble math                      |
+//! | L004 | error-taxonomy           | public `fn -> Result` uses typed errors |
+//! | L005 | exit-codes               | `process::exit` only with documented    |
+//! |      |                          | `EXIT_*` constants                      |
+//! | L006 | unchecked-bit-arithmetic | no bare `+ - *` on sized integers or    |
+//! |      |                          | variable-amount shifts in bit math      |
+//!
+//! Workspace-level semantic rules (run over the symbol table and call
+//! graph, see [`crate::symbols`] / [`crate::callgraph`]):
+//!
+//! | id   | name                     | contract                                |
+//! |------|--------------------------|-----------------------------------------|
+//! | L007 | discarded-results        | `let _ =` / trailing `.ok();` must not  |
+//! |      |                          | swallow a workspace `Result`            |
+//! | R001 | panic-reachability       | no non-test call path from the          |
+//! |      |                          | configured entry points reaches a       |
+//! |      |                          | panicking construct (see               |
+//! |      |                          | [`crate::reach`])                       |
 //!
 //! Every rule is scoped by path prefixes from `lint.toml` and can be
 //! suppressed per line (or per file) with
 //! `// lint: allow(<rule>, reason = "...")`.
 
+use crate::callgraph::CallGraph;
 use crate::config::Config;
+use crate::lexer::{int_suffix, TokKind, Token};
 use crate::report::{Diagnostic, Severity};
 use crate::scan::ScannedFile;
+use crate::symbols::SymbolTable;
+use std::collections::BTreeSet;
 
 /// A lint rule over one scanned file.
 pub trait Rule {
@@ -35,7 +54,7 @@ pub trait Rule {
     fn check(&self, file: &ScannedFile, cfg: &Config, out: &mut Vec<Diagnostic>);
 }
 
-/// All registered rules, in id order.
+/// All registered per-file rules, in id order.
 pub fn registry() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(NoPanicPaths),
@@ -43,7 +62,68 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(CastSafety),
         Box::new(ErrorTaxonomy),
         Box::new(ExitCodes),
+        Box::new(UncheckedArith),
     ]
+}
+
+/// Workspace-level context handed to semantic rules: every scanned
+/// file plus the symbol table and call graph built over them.
+pub struct Workspace<'a> {
+    /// All scanned files, in discovery order.
+    pub files: &'a [ScannedFile],
+    /// The item-level symbol table.
+    pub symbols: &'a SymbolTable,
+    /// The intra-workspace call graph (same fn indexing as `symbols`).
+    pub calls: &'a CallGraph,
+}
+
+/// A lint rule over the whole workspace at once — for contracts that a
+/// single file cannot witness (cross-crate data flow, reachability).
+pub trait SemanticRule {
+    /// Stable id, e.g. `L007`.
+    fn id(&self) -> &'static str;
+    /// Human-readable name, e.g. `discarded-results`.
+    fn name(&self) -> &'static str;
+    /// One-line contract description (for `--list-rules`).
+    fn describe(&self) -> &'static str;
+    /// Appends findings to `out`. The engine scopes each finding by
+    /// its own file path afterwards.
+    fn check(&self, ws: &Workspace<'_>, cfg: &Config, out: &mut Vec<Diagnostic>);
+}
+
+/// All registered semantic rules, in id order.
+pub fn semantic_registry() -> Vec<Box<dyn SemanticRule>> {
+    vec![
+        Box::new(DiscardedResults),
+        Box::new(crate::reach::PanicReach),
+    ]
+}
+
+/// Builds a semantic-rule finding anchored at `line` of `file`.
+pub(crate) fn semantic_finding(
+    rule: &str,
+    name: &'static str,
+    file: &ScannedFile,
+    line: usize,
+    message: String,
+    chain: Option<String>,
+) -> Diagnostic {
+    let snippet = file
+        .lines
+        .get(line.saturating_sub(1))
+        .map(|l| l.code.trim().to_string())
+        .unwrap_or_default();
+    Diagnostic {
+        rule: rule.to_string(),
+        name,
+        rel: file.rel.clone(),
+        line,
+        message,
+        snippet,
+        chain,
+        severity: Severity::Deny,
+        suppressed: false,
+    }
 }
 
 /// Builds a finding with the file/line context filled in. Severity
@@ -61,6 +141,7 @@ fn finding(rule: &dyn Rule, file: &ScannedFile, line: usize, message: String) ->
         line,
         message,
         snippet,
+        chain: None,
         severity: Severity::Deny,
         suppressed: false,
     }
@@ -75,7 +156,7 @@ fn is_ident_char(c: char) -> bool {
 /// `u8` does not match `u80`). A boundary is only required on a side
 /// where the needle itself starts/ends with an identifier char —
 /// `.unwrap()` legitimately follows its receiver.
-fn token_positions(hay: &str, needle: &str) -> Vec<usize> {
+pub(crate) fn token_positions(hay: &str, needle: &str) -> Vec<usize> {
     let needs_before = needle.chars().next().is_some_and(is_ident_char);
     let needs_after = needle.chars().next_back().is_some_and(is_ident_char);
     let mut out = Vec::new();
@@ -101,7 +182,7 @@ fn token_positions(hay: &str, needle: &str) -> Vec<usize> {
 }
 
 /// Iterates the non-test lines of a file as `(1-based line, code)`.
-fn code_lines(file: &ScannedFile) -> impl Iterator<Item = (usize, &str)> {
+pub(crate) fn code_lines(file: &ScannedFile) -> impl Iterator<Item = (usize, &str)> {
     file.lines
         .iter()
         .enumerate()
@@ -115,7 +196,7 @@ fn code_lines(file: &ScannedFile) -> impl Iterator<Item = (usize, &str)> {
 pub struct NoPanicPaths;
 
 /// What L001 looks for, and why each token is a panic path.
-const PANIC_TOKENS: &[(&str, &str)] = &[
+pub(crate) const PANIC_TOKENS: &[(&str, &str)] = &[
     (".unwrap()", "panics on None/Err"),
     (".expect(", "panics on None/Err"),
     ("panic!(", "unconditional panic"),
@@ -173,7 +254,7 @@ impl Rule for NoPanicPaths {
 /// Positions of `[` starting a literal index (`x[0]`, `self.0[3]`) —
 /// a `[` whose preceding non-space char continues an expression and
 /// whose bracketed content is an integer literal.
-fn literal_index_positions(code: &str) -> Vec<usize> {
+pub(crate) fn literal_index_positions(code: &str) -> Vec<usize> {
     let mut out = Vec::new();
     for (i, c) in code.char_indices() {
         if c != '[' {
@@ -508,6 +589,251 @@ impl Rule for ExitCodes {
     }
 }
 
+// ---------------------------------------------------------------- L006
+
+/// L006 unchecked-bit-arithmetic: in bit-twiddling code, bare `+ - *`
+/// on explicitly sized integers overflows silently in release builds
+/// (and panics in debug), and a shift by a non-literal amount panics in
+/// debug whenever the amount reaches the type's width. Both must be
+/// spelled with `checked_*`/`wrapping_*`/`saturating_*` (or the audited
+/// `v6census_addr::bits` helpers) so the overflow policy is explicit.
+pub struct UncheckedArith;
+
+/// The explicitly sized integer types L006 tracks. `usize`/`isize` are
+/// excluded: they are index/len arithmetic, not bit math.
+pub(crate) const SIZED_INTS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// Identifier keywords that precede a *unary* `-`/`*`, not a binary
+/// operator, despite lexing as idents.
+const EXPR_BREAK_KEYWORDS: &[&str] = &[
+    "return", "match", "if", "while", "in", "break", "else", "let", "as",
+];
+
+/// Arithmetic panic/overflow sites in one file as `(line, what)`.
+/// Shared between the L006 rule and R001 panic-reachability.
+pub(crate) fn arith_sites(file: &ScannedFile) -> Vec<(usize, String)> {
+    let toks: Vec<&Token> = file
+        .tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokKind::LineComment { .. } | TokKind::BlockComment { .. }
+            )
+        })
+        .collect();
+
+    // Names declared with an explicitly sized type (`x: u8` covers
+    // locals, params, and struct fields) or `let`-bound to a
+    // sized-suffix literal (`let m = 1u128`).
+    let mut tracked: BTreeSet<&str> = BTreeSet::new();
+    for (w, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && toks.get(w + 1).is_some_and(|n| n.is_op(":"))
+            && toks
+                .get(w + 2)
+                .is_some_and(|n| n.kind == TokKind::Ident && SIZED_INTS.contains(&n.text.as_str()))
+        {
+            tracked.insert(t.text.as_str());
+        }
+        if t.is_ident("let") {
+            let mut n = w + 1;
+            if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            if toks.get(n).is_some_and(|t| t.kind == TokKind::Ident)
+                && toks.get(n + 1).is_some_and(|t| t.is_op("="))
+                && toks.get(n + 2).is_some_and(|t| {
+                    t.kind == TokKind::Int
+                        && int_suffix(&t.text).is_some_and(|s| SIZED_INTS.contains(&s))
+                })
+            {
+                if let Some(name) = toks.get(n) {
+                    tracked.insert(name.text.as_str());
+                }
+            }
+        }
+    }
+
+    let sized_operand = |tok: Option<&&Token>| {
+        tok.is_some_and(|t| match t.kind {
+            TokKind::Ident => tracked.contains(t.text.as_str()),
+            TokKind::Int => int_suffix(&t.text).is_some_and(|s| SIZED_INTS.contains(&s)),
+            _ => false,
+        })
+    };
+    let int_literal = |tok: Option<&&Token>| tok.is_some_and(|t| t.kind == TokKind::Int);
+
+    let mut out = Vec::new();
+    // Angle-bracket depth, so `>>` closing nested generics
+    // (`IntoIterator<Item = Addr>>(iter`) is not mistaken for a shift.
+    // A `<` opens generics only when it hugs the preceding ident or
+    // `::` (`Vec<`, `collect::<`); a spaced `a < b` is a comparison.
+    let mut angle = 0usize;
+    for (j, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Op {
+            continue;
+        }
+        let hugs_prev = j.checked_sub(1).and_then(|p| toks.get(p)).is_some_and(|p| {
+            p.end == t.start && (p.kind == TokKind::Ident || p.is_op("::") || p.is_op(">"))
+        });
+        match t.text.as_str() {
+            "<" if hugs_prev => angle = angle.saturating_add(1),
+            ">" if angle > 0 => angle = angle.saturating_sub(1),
+            ">>" if angle > 0 => {
+                angle = angle.saturating_sub(2);
+                continue;
+            }
+            ";" | "{" | "}" => angle = 0,
+            _ => {}
+        }
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        let prev = j.checked_sub(1).and_then(|p| toks.get(p));
+        let next = toks.get(j + 1);
+        // A binary operator's left operand just ended: an ident (but
+        // not a statement keyword), a literal, or a closing bracket.
+        let binary = prev.is_some_and(|p| match p.kind {
+            TokKind::Ident => !EXPR_BREAK_KEYWORDS.contains(&p.text.as_str()),
+            TokKind::Int | TokKind::Float => true,
+            TokKind::Op => matches!(p.text.as_str(), ")" | "]"),
+            _ => false,
+        });
+        if !binary {
+            continue;
+        }
+        match t.text.as_str() {
+            // Flag when an operand is a tracked sized integer — unless
+            // both sides are literals, which the compiler
+            // const-evaluates and rejects on overflow itself.
+            "+" | "-" | "*" | "+=" | "-=" | "*="
+                if (sized_operand(prev) || sized_operand(next))
+                    && !(int_literal(prev) && int_literal(next)) =>
+            {
+                out.push((
+                    t.line,
+                    format!("bare `{}` on a sized integer can overflow", t.text),
+                ));
+            }
+            "<<" | ">>" | "<<=" | ">>=" => {
+                // A literal shift amount is compiler-checked; anything
+                // else can reach the type's width at runtime. Requiring
+                // an expression start on the right skips `Vec<Vec<u8>>`
+                // generic closers.
+                let next_is_expr = next.is_some_and(|t| {
+                    matches!(t.kind, TokKind::Ident | TokKind::Int) || t.is_op("(")
+                });
+                if next_is_expr && !int_literal(next) {
+                    out.push((
+                        t.line,
+                        format!(
+                            "`{}` by a non-literal amount panics in debug once the amount reaches the type's width",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+impl Rule for UncheckedArith {
+    fn id(&self) -> &'static str {
+        "L006"
+    }
+    fn name(&self) -> &'static str {
+        "unchecked-bit-arithmetic"
+    }
+    fn describe(&self) -> &'static str {
+        "no bare + - * on sized integers or variable-amount shifts in bit math — use checked_*/wrapping_* or addr::bits"
+    }
+    fn check(&self, file: &ScannedFile, _cfg: &Config, out: &mut Vec<Diagnostic>) {
+        for (line, what) in arith_sites(file) {
+            out.push(finding(
+                self,
+                file,
+                line,
+                format!(
+                    "{what} — make the overflow policy explicit with checked_*/wrapping_*/saturating_* or the audited v6census_addr::bits helpers"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L007
+
+/// L007 discarded-results: the workspace's error taxonomy only works if
+/// callers look at the `Result`s. `let _ = fallible()` and a trailing
+/// `fallible().ok();` both compile silently while dropping the error.
+pub struct DiscardedResults;
+
+impl SemanticRule for DiscardedResults {
+    fn id(&self) -> &'static str {
+        "L007"
+    }
+    fn name(&self) -> &'static str {
+        "discarded-results"
+    }
+    fn describe(&self) -> &'static str {
+        "`let _ =` or a trailing `.ok();` must not swallow a workspace Result — handle it, propagate it, or pragma with a reason"
+    }
+    fn check(&self, ws: &Workspace<'_>, _cfg: &Config, out: &mut Vec<Diagnostic>) {
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (id, f) in ws.symbols.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let Some(file) = ws.files.get(f.file) else {
+                continue;
+            };
+            for call in ws.calls.calls.get(id).into_iter().flatten() {
+                let fallible = call.callees.iter().any(|&k| {
+                    ws.symbols
+                        .fns
+                        .get(k)
+                        .is_some_and(|c| c.returns_result && !c.is_test)
+                });
+                if !fallible {
+                    continue;
+                }
+                let Some(line) = file.lines.get(call.line.saturating_sub(1)) else {
+                    continue;
+                };
+                if line.in_test {
+                    continue;
+                }
+                let code = line.code.trim();
+                let how = if code.starts_with("let _ =") || code.starts_with("let _=") {
+                    "`let _ =` discards"
+                } else if code.ends_with(".ok();") && !code.contains('=') {
+                    "a trailing `.ok()` swallows"
+                } else {
+                    continue;
+                };
+                if seen.insert((f.file, call.line)) {
+                    out.push(semantic_finding(
+                        self.id(),
+                        self.name(),
+                        file,
+                        call.line,
+                        format!(
+                            "{how} the Result of `{}` — handle the error, propagate it, or add an allow pragma with a reason",
+                            call.expr
+                        ),
+                        None,
+                    ));
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -584,5 +910,140 @@ mod tests {
         let ok =
             "fn f() { std::process::exit(EXIT_USAGE); process::exit(v6census_cli::EXIT_OK); }\n";
         assert!(check_one(&ExitCodes, ok).is_empty());
+    }
+
+    #[test]
+    fn l006_flags_bare_arithmetic_on_sized_ints() {
+        let bad = "\
+fn f(len: u8) -> u128 {
+    let base = 1u128;
+    let a = len - 1;
+    let b = base * 3;
+    a as u128 + b
+}
+";
+        let diags = check_one(&UncheckedArith, bad);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        let ok = "\
+fn f(len: u8, i: usize) -> u8 {
+    let a = len.wrapping_sub(1);
+    let b = i + 1;
+    let c = 3 + 4;
+    a.checked_mul(2).unwrap_or(0)
+}
+";
+        assert!(
+            check_one(&UncheckedArith, ok).is_empty(),
+            "usize and checked forms are exempt"
+        );
+    }
+
+    #[test]
+    fn l006_flags_variable_shifts_not_literal_shifts() {
+        let bad = "fn f(len: u32) -> u128 { u128::MAX << (128 - len) }\n";
+        let diags = check_one(&UncheckedArith, bad);
+        assert!(
+            diags.iter().any(|d| d.message.contains("`<<`")),
+            "{diags:?}"
+        );
+        let ok =
+            "fn f(b: u64) -> u64 { (b << 56) | (b >> 8) }\nfn g() -> Vec<Vec<u8>> { Vec::new() }\n";
+        assert!(
+            check_one(&UncheckedArith, ok).is_empty(),
+            "literal shifts and generic closers are exempt"
+        );
+    }
+
+    #[test]
+    fn l006_ignores_nested_generic_closers() {
+        // Regression: `Addr>>(iter` in a generic fn signature is two
+        // closing angle brackets, not a right shift whose amount is a
+        // parenthesised expression.
+        let ok = "\
+pub fn from_iter<I: IntoIterator<Item = Addr>>(iter: I) -> AddrSet {
+    AddrSet::new()
+}
+fn collect(xs: &[u64]) -> Vec<Vec<u8>> {
+    xs.iter().map(|x| x.to_be_bytes().to_vec()).collect::<Vec<Vec<u8>>>()
+}
+";
+        assert!(check_one(&UncheckedArith, ok).is_empty());
+        // Real shifts still flag even after generics appeared earlier
+        // in the file (the depth tracker must not leak).
+        let bad = "\
+pub fn f<I: IntoIterator<Item = u64>>(iter: I, n: u32) -> u128 {
+    u128::MAX << (128 - n)
+}
+";
+        let diags = check_one(&UncheckedArith, bad);
+        assert!(
+            diags.iter().any(|d| d.message.contains("`<<`")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn l006_skips_unary_minus_and_tests() {
+        let ok = "\
+fn f(x: i8) -> i8 {
+    let y = -1i8;
+    if x < 0 { return -2i8; }
+    y
+}
+#[cfg(test)]
+mod tests {
+    fn t(a: u8) -> u8 { a + 1 }
+}
+";
+        assert!(check_one(&UncheckedArith, ok).is_empty());
+    }
+
+    fn check_semantic(rule: &dyn SemanticRule, files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let scanned: Vec<ScannedFile> = files
+            .iter()
+            .map(|(rel, src)| scan(PathBuf::from(rel), (*rel).into(), src))
+            .collect();
+        let symbols = SymbolTable::build(&scanned);
+        let calls = CallGraph::build(&symbols, &scanned);
+        let ws = Workspace {
+            files: &scanned,
+            symbols: &symbols,
+            calls: &calls,
+        };
+        let mut out = Vec::new();
+        rule.check(&ws, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn l007_flags_discarded_workspace_results() {
+        let src = "\
+pub fn save() -> Result<(), E> { Ok(()) }
+fn driver() {
+    let _ = save();
+    save().ok();
+}
+";
+        let diags = check_semantic(&DiscardedResults, &[("crates/x/src/lib.rs", src)]);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().any(|d| d.message.contains("`let _ =`")));
+        assert!(diags.iter().any(|d| d.message.contains("`.ok()`")));
+    }
+
+    #[test]
+    fn l007_exempts_handled_results_and_std_calls() {
+        let src = "\
+pub fn save() -> Result<(), E> { Ok(()) }
+fn infallible() {}
+fn driver() -> Result<(), E> {
+    save()?;
+    let kept = save().ok();
+    let _ = infallible();
+    let _ = writeln!(out, \"x\");
+    save()
+}
+";
+        let diags = check_semantic(&DiscardedResults, &[("crates/x/src/lib.rs", src)]);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 }

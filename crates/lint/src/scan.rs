@@ -1,13 +1,16 @@
-//! Line-aware lexical scanner for Rust source.
+//! Line-aware scanning built on the token lexer.
 //!
-//! The rules in this crate are textual, so the scanner's job is to make
-//! textual matching *honest*: rule patterns must never fire inside
-//! string literals, comments, or doc comments, and must know which lines
-//! belong to `#[cfg(test)]` / `#[test]` regions (where the workspace's
-//! panic-freedom contract deliberately does not apply).
+//! The lexical rules in this crate are textual, so the scanner's job is
+//! to make textual matching *honest*: rule patterns must never fire
+//! inside string literals, comments, or doc comments, and must know
+//! which lines belong to `#[cfg(test)]` / `#[test]` regions (where the
+//! workspace's panic-freedom contract deliberately does not apply).
 //!
-//! One pass walks the raw text with a small state machine and produces,
-//! per line:
+//! Earlier revisions walked the raw text with a heuristic state machine;
+//! this one is a thin projection of [`crate::lexer`]'s token stream, so
+//! the line view and the semantic layers (symbols, call graph,
+//! reachability) can never disagree about where a string ends or whether
+//! `'a` was a lifetime. Per line it produces:
 //!
 //! * `code` — the line with comments removed and string/char literal
 //!   *contents* blanked (delimiters kept), so `".unwrap()"` inside a
@@ -20,6 +23,8 @@
 //! `#[cfg(test)]` / `#[test]` regions.
 
 use std::path::PathBuf;
+
+use crate::lexer::{lex, TokKind, Token};
 
 /// A `// lint: allow(<rule>, reason = "...")` suppression pragma, or a
 /// malformed attempt at one (carried with its parse error so the engine
@@ -50,7 +55,8 @@ pub struct Line {
     pub in_test: bool,
 }
 
-/// A scanned source file: lines plus the pragmas found in its comments.
+/// A scanned source file: tokens, lines, and the pragmas found in its
+/// comments.
 #[derive(Clone, Debug)]
 pub struct ScannedFile {
     /// Absolute (or as-given) path.
@@ -62,14 +68,19 @@ pub struct ScannedFile {
     pub lines: Vec<Line>,
     /// Every pragma in the file, valid or not.
     pub pragmas: Vec<Pragma>,
+    /// The full token stream (comments included) — the semantic layers
+    /// consume this instead of re-lexing.
+    pub tokens: Vec<Token>,
 }
 
-/// Lexer state while walking the raw text.
-enum State {
-    Code,
-    Str { raw_hashes: Option<usize> },
-    Char,
-    BlockComment { depth: usize },
+impl ScannedFile {
+    /// True when 1-based `line` lies in a `#[cfg(test)]`/`#[test]`
+    /// region (out-of-range lines count as test: never lint them).
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.lines
+            .get(line.saturating_sub(1))
+            .is_none_or(|l| l.in_test)
+    }
 }
 
 /// One pending line comment: its text and whether code preceded it.
@@ -81,133 +92,52 @@ struct LineComment {
 
 /// Scans `text` into per-line code/strings plus pragmas.
 pub fn scan(path: PathBuf, rel: String, text: &str) -> ScannedFile {
+    let tokens = lex(text);
     let mut lines: Vec<Line> = vec![Line::default()];
     let mut comments: Vec<LineComment> = Vec::new();
-    let mut state = State::Code;
-    let mut cur_string = String::new();
-    let mut chars = text.chars().peekable();
+    let mut pos = 0usize;
 
-    // Walking with an explicit loop (rather than per-line) lets string
-    // literals and block comments span lines without special cases.
-    while let Some(c) = chars.next() {
-        if c == '\n' {
-            if let State::Str { .. } = state {
-                cur_string.push('\n');
-            }
-            lines.push(Line::default());
-            continue;
-        }
-        let line_no = lines.len();
-        match &mut state {
-            State::Code => match c {
-                '/' if chars.peek() == Some(&'/') => {
-                    chars.next();
-                    let text: String = take_until_newline(&mut chars);
-                    let after_code = !last_code(&mut lines).trim().is_empty();
+    for tok in &tokens {
+        // Inter-token whitespace (it carries the newlines).
+        push_raw(&mut lines, &text[pos..tok.start]);
+        pos = tok.end;
+        match tok.kind {
+            TokKind::LineComment { doc } => {
+                // Doc comments are documentation, not directives; only
+                // plain `//` comments may carry pragmas.
+                if !doc {
+                    let after_code = !lines
+                        .last()
+                        .map(|l| l.code.trim().is_empty())
+                        .unwrap_or(true);
                     comments.push(LineComment {
-                        line: line_no,
-                        text,
+                        line: tok.line,
+                        text: tok.text.clone(),
                         after_code,
                     });
-                    lines.push(Line::default());
                 }
-                '/' if chars.peek() == Some(&'*') => {
-                    chars.next();
-                    state = State::BlockComment { depth: 1 };
-                }
-                '"' => {
-                    last_code(&mut lines).push('"');
-                    cur_string.clear();
-                    state = State::Str { raw_hashes: None };
-                }
-                'r' | 'b' => {
-                    // `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` start string
-                    // literals; anything else is an ordinary identifier
-                    // character (or `r#ident`, which has no quote).
-                    match raw_string_lookahead(c, &mut chars) {
-                        Some(raw_hashes) => {
-                            last_code(&mut lines).push('"');
-                            cur_string.clear();
-                            state = State::Str { raw_hashes };
-                        }
-                        None => last_code(&mut lines).push(c),
-                    }
-                }
-                '\'' => {
-                    // Disambiguate char literal from lifetime: a char
-                    // literal is `'x'` or `'\..'`; a lifetime is `'ident`
-                    // with no closing quote right after.
-                    let mut ahead = chars.clone();
-                    let is_char = match ahead.next() {
-                        Some('\\') => true,
-                        Some(_) => ahead.next() == Some('\''),
-                        None => false,
-                    };
-                    last_code(&mut lines).push('\'');
-                    if is_char {
-                        state = State::Char;
-                    }
-                }
-                _ => last_code(&mut lines).push(c),
-            },
-            State::Str { raw_hashes: None } => match c {
-                '\\' => {
-                    cur_string.push('\\');
-                    if let Some(&e) = chars.peek() {
-                        chars.next();
-                        cur_string.push(e);
-                    }
-                }
-                '"' => {
-                    let cur = cur_line(&mut lines);
-                    cur.code.push('"');
-                    cur.strings.push(std::mem::take(&mut cur_string));
-                    state = State::Code;
-                }
-                _ => cur_string.push(c),
-            },
-            State::Str {
-                raw_hashes: Some(h),
-            } => {
-                let h = *h;
-                if c == '"' && peek_n_hashes(&mut chars, h) {
-                    for _ in 0..h {
-                        chars.next();
-                    }
-                    let cur = cur_line(&mut lines);
-                    cur.code.push('"');
-                    cur.strings.push(std::mem::take(&mut cur_string));
-                    state = State::Code;
-                } else {
-                    cur_string.push(c);
+                advance_lines(&mut lines, tok);
+            }
+            TokKind::BlockComment { .. } => advance_lines(&mut lines, tok),
+            TokKind::Str => {
+                push_code(&mut lines, "\"");
+                advance_lines(&mut lines, tok);
+                push_code(&mut lines, "\"");
+                if let Some(l) = lines.last_mut() {
+                    l.strings.push(tok.text.clone());
                 }
             }
-            State::Char => match c {
-                '\\' => {
-                    chars.next();
-                }
-                '\'' => {
-                    last_code(&mut lines).push('\'');
-                    state = State::Code;
-                }
-                _ => {}
-            },
-            State::BlockComment { depth } => match c {
-                '*' if chars.peek() == Some(&'/') => {
-                    chars.next();
-                    *depth -= 1;
-                    if *depth == 0 {
-                        state = State::Code;
-                    }
-                }
-                '/' if chars.peek() == Some(&'*') => {
-                    chars.next();
-                    *depth += 1;
-                }
-                _ => {}
-            },
+            TokKind::Char => push_code(&mut lines, "''"),
+            TokKind::Lifetime => {
+                push_code(&mut lines, "'");
+                push_code(&mut lines, &tok.text);
+            }
+            TokKind::Ident | TokKind::Int | TokKind::Float | TokKind::Op => {
+                push_code(&mut lines, &tok.text);
+            }
         }
     }
+    push_raw(&mut lines, &text[pos..]);
 
     mark_test_regions(&mut lines);
     let pragmas = resolve_pragmas(&comments, &lines);
@@ -216,83 +146,33 @@ pub fn scan(path: PathBuf, rel: String, text: &str) -> ScannedFile {
         rel,
         lines,
         pragmas,
+        tokens,
     }
 }
 
-/// The current (last) line. `lines` is seeded with one entry and only
-/// ever grows, so the fallback push is defensive, not a real path.
-fn cur_line(lines: &mut Vec<Line>) -> &mut Line {
-    if lines.is_empty() {
+/// Appends raw text to the line buffer, splitting on newlines.
+fn push_raw(lines: &mut Vec<Line>, s: &str) {
+    for c in s.chars() {
+        if c == '\n' {
+            lines.push(Line::default());
+        } else {
+            push_code(lines, &c.to_string());
+        }
+    }
+}
+
+/// Appends code text to the current line.
+fn push_code(lines: &mut [Line], s: &str) {
+    if let Some(l) = lines.last_mut() {
+        l.code.push_str(s);
+    }
+}
+
+/// Pushes empty lines for each newline a multi-line token spans.
+fn advance_lines(lines: &mut Vec<Line>, tok: &Token) {
+    for _ in tok.line..tok.end_line {
         lines.push(Line::default());
     }
-    let i = lines.len() - 1;
-    &mut lines[i]
-}
-
-/// The current line's code buffer.
-fn last_code(lines: &mut Vec<Line>) -> &mut String {
-    &mut cur_line(lines).code
-}
-
-/// Consumes the rest of the current line (after `//`) as comment text.
-fn take_until_newline(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> String {
-    let mut out = String::new();
-    for c in chars.by_ref() {
-        if c == '\n' {
-            break;
-        }
-        out.push(c);
-    }
-    out
-}
-
-/// Decides whether `c` (an `r` or `b` just consumed from code position)
-/// begins a string literal, consuming the prefix from `chars` only when
-/// it does. Returns the raw-hash count: `Some(None)` for `b"…"` (escapes
-/// like a normal string), `Some(Some(n))` for `r`/`br` raw strings.
-#[allow(clippy::option_option)]
-fn raw_string_lookahead(
-    c: char,
-    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-) -> Option<Option<usize>> {
-    let mut ahead = chars.clone();
-    let mut consumed = 0usize;
-    if c == 'b' {
-        match ahead.peek() {
-            Some('"') => {
-                // `b"…"` — consume the opening quote; the caller pushes
-                // the delimiter and enters string state.
-                chars.next();
-                return Some(None);
-            }
-            Some('r') => {
-                ahead.next();
-                consumed += 1;
-            }
-            _ => return None,
-        }
-    }
-    // After `r` / `br`: optional hashes, then a quote, else not a string
-    // (`r#ident` raw identifiers land here and are left untouched).
-    let mut hashes = 0usize;
-    while ahead.peek() == Some(&'#') {
-        ahead.next();
-        consumed += 1;
-        hashes += 1;
-    }
-    if ahead.peek() != Some(&'"') {
-        return None;
-    }
-    consumed += 1; // the opening quote
-    for _ in 0..consumed {
-        chars.next();
-    }
-    Some(Some(hashes))
-}
-
-/// True when the next `n` characters are all `#` (raw-string closer).
-fn peek_n_hashes(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, n: usize) -> bool {
-    chars.clone().take(n).filter(|&c| c == '#').count() == n
 }
 
 /// Marks lines inside `#[cfg(test)]` / `#[test]` items by brace balance
@@ -433,6 +313,32 @@ mod tests {
     }
 
     #[test]
+    fn double_fenced_raw_strings_are_blanked() {
+        // `r##"…"##` may contain an un-fenced `"#` without terminating.
+        let f = scan_str("let s = r##\"has \"# quote and .unwrap()\"##; let t = 1;\n");
+        let code = &f.lines[0].code;
+        assert!(!code.contains("unwrap"), "{code}");
+        assert!(code.contains("let t = 1;"), "lexing continued: {code}");
+        assert_eq!(f.lines[0].strings[0], "has \"# quote and .unwrap()");
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_is_not_a_string_opener() {
+        // `'\''` historically mislexed as a string start, hiding the
+        // rest of the line from the rules.
+        let f = scan_str("let q = '\\''; x.unwrap();\n");
+        assert!(f.lines[0].code.contains(".unwrap()"), "{:?}", f.lines[0]);
+    }
+
+    #[test]
+    fn lifetimes_survive_blanking() {
+        let f = scan_str("fn f<'a>(x: &'a str) -> &'static str { x }\n");
+        let code = &f.lines[0].code;
+        assert!(code.contains("<'a>"), "{code}");
+        assert!(code.contains("&'static str"), "{code}");
+    }
+
+    #[test]
     fn block_comments_nest_and_span_lines() {
         let f = scan_str("a /* one /* two */ still */ b\n/* open\n.unwrap()\n*/ c\n");
         assert_eq!(f.lines[0].code.replace(' ', ""), "ab");
@@ -469,5 +375,11 @@ mod tests {
         );
         assert_eq!(f.pragmas[2].target_line, None);
         assert!(f.pragmas[3].error.is_some(), "reason is mandatory");
+    }
+
+    #[test]
+    fn doc_comments_never_carry_pragmas() {
+        let f = scan_str("/// lint: allow(L001, reason = \"doc, not directive\")\nfn f() {}\n");
+        assert!(f.pragmas.is_empty());
     }
 }

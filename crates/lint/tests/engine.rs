@@ -131,6 +131,72 @@ fn l005_ok_fixture_is_clean() {
     assert_ok("l005_ok.rs");
 }
 
+#[test]
+fn l006_bad_fixture_is_flagged() {
+    // The expression shift, its `128 - n`, `len * 3`, `scaled + 1`,
+    // and `total += step`.
+    assert_bad("l006_bad.rs", "L006", 5);
+}
+
+#[test]
+fn l006_ok_fixture_is_clean() {
+    // Also the regression fixture for `>>` generic closers: the
+    // `IntoIterator<Item = u64>>(iter` signature must not read as a
+    // right shift.
+    assert_ok("l006_ok.rs");
+}
+
+#[test]
+fn l007_bad_fixture_is_flagged() {
+    // One `let _ =` and one trailing `.ok();`.
+    assert_bad("l007_bad.rs", "L007", 2);
+}
+
+#[test]
+fn l007_ok_fixture_is_clean() {
+    assert_ok("l007_ok.rs");
+}
+
+// --------------------------------------------------- R001 reachability
+
+/// The three-file reach fixture: `reach_entry::main` calls
+/// `reach_mid::relay` calls `reach_panic::boom`, which panics. R001
+/// must find the site and print the interprocedural witness chain.
+#[test]
+fn reach_fixture_prints_the_call_chain() {
+    let dir = fixtures_dir();
+    let cfg = Config::parse("[reach]\nentry_points = [\"reach_entry::main\"]\n")
+        .expect("fixture config parses");
+    let report = lint_files(
+        &dir,
+        &[
+            dir.join("reach_entry.rs"),
+            dir.join("reach_mid.rs"),
+            dir.join("reach_panic.rs"),
+        ],
+        &cfg,
+        &SeverityMap::default(),
+    )
+    .expect("fixture lints");
+    let r001 = hits(&report, "R001");
+    assert_eq!(r001.len(), 1, "{:?}", report.diagnostics);
+    let d = r001.first().expect("one R001 finding");
+    assert_eq!(d.rel, "reach_panic.rs");
+    assert!(
+        d.message
+            .contains("reachable from entry `reach_entry::main`"),
+        "{}",
+        d.message
+    );
+    assert_eq!(
+        d.chain.as_deref(),
+        Some("reach_entry::main → reach_mid::relay → reach_panic::boom"),
+        "chain must name every hop: {:?}",
+        d.chain
+    );
+    assert_eq!(report.exit_code(), 1, "a reachable panic fails the run");
+}
+
 // ------------------------------------------------------------- pragmas
 
 #[test]

@@ -1,0 +1,19 @@
+//! L007 fixture: discarded Results (seeded violations).
+
+/// A unit error for the fixture's fallible API.
+pub struct Broken;
+
+/// The fallible API whose Result must not be swallowed.
+pub fn persist() -> Result<(), Broken> {
+    Err(Broken)
+}
+
+/// `let _ =` throws the error away.
+pub fn shrug() {
+    let _ = persist();
+}
+
+/// A trailing `.ok();` does the same.
+pub fn shrug_harder() {
+    persist().ok();
+}

@@ -1,0 +1,22 @@
+//! L007 fixture: Results handled or propagated (clean).
+
+/// A unit error for the fixture's fallible API.
+pub struct Broken;
+
+/// The fallible API under test.
+pub fn persist() -> Result<(), Broken> {
+    Err(Broken)
+}
+
+/// Propagation keeps the error alive.
+pub fn forward() -> Result<(), Broken> {
+    persist()
+}
+
+/// Matching handles both arms.
+pub fn handle() -> u32 {
+    match persist() {
+        Ok(()) => 1,
+        Err(Broken) => 0,
+    }
+}

@@ -1,0 +1,7 @@
+//! R001 fixture: the configured entry point of a three-file call chain.
+
+use reach_mid::relay;
+
+fn main() {
+    relay();
+}

@@ -1,0 +1,8 @@
+//! R001 fixture: the middle hop — panic-free itself, but on the path.
+
+use reach_panic::boom;
+
+/// Relays the entry point's call one hop further.
+pub fn relay() {
+    boom();
+}

@@ -1,0 +1,7 @@
+//! R001 fixture: the panic site at the end of the chain.
+
+/// Panics on an empty vector — reachable from `reach_entry::main`.
+pub fn boom() {
+    let v: Vec<u8> = Vec::new();
+    v.get(0).unwrap();
+}

@@ -285,33 +285,26 @@ impl Archetype {
         if day < activation {
             return;
         }
+        // Every archetype needs at least one prefix; a network without
+        // one has nothing to emit.
+        let Some(&first) = prefixes.first() else {
+            return;
+        };
         let g = growth(day).min(1.0);
         match self {
             Archetype::Mobile(p) => emit_mobile(ent, asn, prefixes, max_subs, g, day, p, out),
             Archetype::RotatingIsp {
                 home,
                 region_combos,
-            } => emit_rotating(
-                ent,
-                asn,
-                prefixes[0],
-                max_subs,
-                g,
-                day,
-                home,
-                *region_combos,
-                out,
-            ),
-            Archetype::StaticIsp(p) => {
-                emit_static_isp(ent, asn, prefixes[0], max_subs, g, day, p, out)
-            }
+            } => emit_rotating(ent, asn, first, max_subs, g, day, home, *region_combos, out),
+            Archetype::StaticIsp(p) => emit_static_isp(ent, asn, first, max_subs, g, day, p, out),
             Archetype::Broadband(p) => {
                 emit_renumbering(ent, asn, prefixes, max_subs, g, day, p, 420, out)
             }
             Archetype::University { dense_dept } => {
-                emit_university(ent, asn, prefixes[0], max_subs, g, day, *dense_dept, out)
+                emit_university(ent, asn, first, max_subs, g, day, *dense_dept, out)
             }
-            Archetype::Hosting(p) => emit_hosting(ent, asn, prefixes[0], max_subs, g, day, p, out),
+            Archetype::Hosting(p) => emit_hosting(ent, asn, first, max_subs, g, day, p, out),
             Archetype::Generic(p) => {
                 emit_renumbering(
                     ent,
@@ -324,7 +317,7 @@ impl Archetype {
                     p.renumber_period,
                     out,
                 );
-                emit_server_block(ent, asn, prefixes[0], p.servers, day, out);
+                emit_server_block(ent, asn, first, p.servers, day, out);
             }
         }
     }

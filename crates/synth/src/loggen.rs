@@ -114,7 +114,12 @@ impl World {
             }
             let mut all = Vec::new();
             for h in handles {
-                all.extend(h.join().expect("emission thread panicked"));
+                match h.join() {
+                    Ok(v) => all.extend(v),
+                    // A panicked emission shard is a bug; degrade to the
+                    // shards that completed rather than aborting the run.
+                    Err(_) => debug_assert!(false, "emission thread panicked"),
+                }
             }
             all
         });
@@ -211,7 +216,10 @@ impl World {
                 continue;
             }
             let org = &networks[tail_start + (ent.u64(b"isor", &[host]) % orgs as u64) as usize];
-            let base_high = (org.prefixes[0].addr().0 >> 64) as u64;
+            let Some(org_prefix) = org.prefixes.first() else {
+                continue;
+            };
+            let base_high = (org_prefix.addr().0 >> 64) as u64;
             let net_high = base_high | (0xe << 28) | (ent.u64(b"isnt", &[host]) % 4);
             let v4 = region_v4(&ent, b"isv4", &[host]);
             let iid = 0x0000_5efe_0000_0000u64 | v4 as u64;

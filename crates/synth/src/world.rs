@@ -73,12 +73,13 @@ pub fn growth(day: Day) -> f64 {
         (epochs::mar2015(), 1.00),
         (Day::from_ymd(2015, 12, 31), 1.35),
     ];
-    if day <= anchors[0].0 {
-        return anchors[0].1;
+    if let Some(&(d_first, g_first)) = anchors.first() {
+        if day <= d_first {
+            return g_first;
+        }
     }
     for w in anchors.windows(2) {
-        let (d0, g0) = w[0];
-        let (d1, g1) = w[1];
+        let &[(d0, g0), (d1, g1)] = w else { continue };
         if day <= d1 {
             let t = (day - d0) as f64 / (d1 - d0) as f64;
             return g0 + t * (g1 - g0);

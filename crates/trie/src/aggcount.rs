@@ -10,6 +10,7 @@
 //! because `n_p = 1 + |{ adjacent pairs with common prefix < p bits }|`.
 
 use crate::{AddrSet, DensePrefix};
+use v6census_addr::bits::high_mask;
 use v6census_addr::cast::checked_usize;
 use v6census_addr::{Addr, Prefix};
 
@@ -44,7 +45,7 @@ impl AggregateCounts {
         let mut acc = 1u64;
         for (p, c) in counts.iter_mut().enumerate() {
             if let Some(prev) = p.checked_sub(1) {
-                acc += hist[prev];
+                acc = acc.saturating_add(hist[prev]);
             }
             *c = acc;
         }
@@ -90,7 +91,8 @@ impl AggregateCounts {
         assert!(k > 0 && 128 % k == 0, "k must divide 128");
         (0..128 / k)
             .map(|i| {
-                let p = i * k;
+                // i < 128/k, so i*k stays below 128.
+                let p = i.saturating_mul(k);
                 (p, self.ratio(p, k))
             })
             .collect()
@@ -107,17 +109,13 @@ pub fn populations(set: &AddrSet, p: u8) -> Vec<u64> {
     let Some(&first) = keys.first() else {
         return out;
     };
-    let mask = if p == 0 {
-        0u128
-    } else {
-        u128::MAX << (128 - p)
-    };
+    let mask = high_mask(p);
     let mut cur = first & mask;
     let mut run = 0u64;
     for &k in keys {
         let m = k & mask;
         if m == cur {
-            run += 1;
+            run = run.saturating_add(1);
         } else {
             out.push(run);
             cur = m;
@@ -141,11 +139,7 @@ pub fn dense_prefixes_at(set: &AddrSet, n: u64, p: u8) -> Vec<DensePrefix> {
     let Some(&first) = keys.first() else {
         return out;
     };
-    let mask = if p == 0 {
-        0u128
-    } else {
-        u128::MAX << (128 - p)
-    };
+    let mask = high_mask(p);
     let mut cur = first & mask;
     let mut run = 0u64;
     let flush = |block: u128, run: u64, out: &mut Vec<DensePrefix>| {
@@ -159,7 +153,7 @@ pub fn dense_prefixes_at(set: &AddrSet, n: u64, p: u8) -> Vec<DensePrefix> {
     for &k in keys {
         let m = k & mask;
         if m == cur {
-            run += 1;
+            run = run.saturating_add(1);
         } else {
             flush(cur, run, &mut out);
             cur = m;

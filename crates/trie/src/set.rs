@@ -6,6 +6,7 @@
 //! perform — membership, intersection size, union, and ordered scans for
 //! aggregate counting.
 
+use v6census_addr::bits::high_mask;
 use v6census_addr::Addr;
 
 /// A sorted, deduplicated set of IPv6 addresses backed by a `Vec<u128>`.
@@ -152,11 +153,7 @@ impl AddrSet {
             return self.clone();
         }
         let mut out: Vec<u128> = Vec::with_capacity(self.keys.len());
-        let mask = if len == 0 {
-            0
-        } else {
-            u128::MAX << (128 - len)
-        };
+        let mask = high_mask(len);
         let mut last: Option<u128> = None;
         for &k in &self.keys {
             let m = k & mask;

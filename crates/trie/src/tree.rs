@@ -220,10 +220,10 @@ impl RadixTree {
             // `TrieError` path unreachable (see `TrieError` docs).
             debug_assert!(false, "insert({p}, {count}): {e}");
             // Recovery without data loss: account the count at ::/0.
-            self.total += count;
+            self.total = self.total.saturating_add(count);
             if let Some(root) = &mut self.root {
                 if root.prefix == Prefix::ALL {
-                    root.count += count;
+                    root.count = root.count.saturating_add(count);
                     return;
                 }
             }
@@ -244,7 +244,7 @@ impl RadixTree {
         // them either way so `node_count` never drifts from reality.
         self.nodes += created;
         result?;
-        self.total += count;
+        self.total = self.total.saturating_add(count);
         Ok(())
     }
 
@@ -268,14 +268,20 @@ impl RadixTree {
         };
 
         if node.prefix == p {
-            node.count += count;
+            node.count = node.count.saturating_add(count);
             return Ok(());
         }
 
         if node.prefix.contains(p) {
             // Descend: branch on the first bit of p beyond node's prefix.
             let bit = usize::from(p.addr().bit(usize::from(node.prefix.len())));
-            return Self::insert_into(&mut node.children[bit], p, count, created, depth + 1);
+            return Self::insert_into(
+                &mut node.children[bit],
+                p,
+                count,
+                created,
+                depth.saturating_add(1),
+            );
         }
 
         // Below here the node at `slot` is replaced; take it by value.
@@ -446,13 +452,13 @@ impl RadixTree {
             }
             if len <= p {
                 // count >= n * 2^(p-len), saturating.
-                let shift = u32::from(p - len);
+                let shift = u32::from(p.saturating_sub(len));
                 if shift >= 64 {
                     return false;
                 }
                 n.checked_shl(shift).is_some_and(|t| count >= t)
             } else {
-                let shift = u32::from(len - p);
+                let shift = u32::from(len.saturating_sub(p));
                 if shift >= 64 {
                     return true;
                 }
@@ -470,8 +476,15 @@ impl RadixTree {
                 .flatten()
                 .map(|c| c.subtree_sum())
                 .sum();
-            if child_sum > 0 && dense(node.count + child_sum, node.prefix.len(), n, p) {
-                node.count += child_sum;
+            if child_sum > 0
+                && dense(
+                    node.count.saturating_add(child_sum),
+                    node.prefix.len(),
+                    n,
+                    p,
+                )
+            {
+                node.count = node.count.saturating_add(child_sum);
                 for slot in node.children.iter_mut() {
                     if let Some(c) = slot.take() {
                         *removed += count_nodes(&c);
@@ -480,8 +493,8 @@ impl RadixTree {
             }
         }
 
-        fn count_nodes(n: &Node) -> usize {
-            1 + n
+        fn count_nodes(node: &Node) -> usize {
+            1 + node
                 .children
                 .iter()
                 .flatten()
@@ -548,9 +561,9 @@ impl RadixTree {
                 let Some(node) = slot else { return 0 };
                 let mut absorbed = 0u64;
                 for child in node.children.iter_mut() {
-                    absorbed += fold(child, cutoff, removed);
+                    absorbed = absorbed.saturating_add(fold(child, cutoff, removed));
                 }
-                node.count += absorbed;
+                node.count = node.count.saturating_add(absorbed);
                 let is_leaf = node.children.iter().all(|c| c.is_none());
                 if is_leaf && node.count <= cutoff && !node.prefix.is_empty() {
                     let count = node.count;
@@ -724,7 +737,7 @@ impl<T> PrefixMap<T> {
         let node = Self::slot_for(&mut self.root, p, 0)?;
         let old = node.value.replace(value);
         if old.is_none() {
-            self.len += 1;
+            self.len = self.len.saturating_add(1);
         }
         Ok(old)
     }
@@ -784,7 +797,7 @@ impl<T> PrefixMap<T> {
                     debug_assert!(false, "descend node vanished");
                     return Err(corrupt("map/descend"));
                 };
-                Self::slot_for(&mut node.children[bit], p, depth + 1)
+                Self::slot_for(&mut node.children[bit], p, depth.saturating_add(1))
             }
             Action::SpliceAbove => {
                 let Some(old) = slot.take() else {
@@ -817,7 +830,7 @@ impl<T> PrefixMap<T> {
                 // The branch now strictly contains p: recurse to create
                 // it. A non-canonical key that kept colliding with the
                 // restored subtree is caught by the depth guard.
-                Self::slot_for(slot, p, depth + 1)
+                Self::slot_for(slot, p, depth.saturating_add(1))
             }
         }
     }
