@@ -27,6 +27,10 @@ pub struct Call {
     /// Rendered callee expression for diagnostics, e.g.
     /// `trie::densify` or `.node_at`.
     pub expr: String,
+    /// Index of the call's opening `(` in the owning file's full token
+    /// stream, so statement-level rules (L007) can walk the
+    /// surrounding tokens instead of a single source line.
+    pub paren: usize,
 }
 
 /// Call sites grouped by calling function, same indexing as
@@ -54,12 +58,13 @@ impl CallGraph {
             let Some(file) = files.get(f.file) else {
                 continue;
             };
-            let body: Vec<&Token> = file
+            let body: Vec<(usize, &Token)> = file
                 .tokens
                 .iter()
+                .enumerate()
                 .take(end.min(file.tokens.len()))
                 .skip(start)
-                .filter(|t| {
+                .filter(|(_, t)| {
                     !matches!(
                         t.kind,
                         TokKind::LineComment { .. } | TokKind::BlockComment { .. }
@@ -83,10 +88,11 @@ impl CallGraph {
     }
 }
 
-/// Scans one body's comment-free tokens for call sites.
-fn collect_calls(table: &SymbolTable, caller: &FnSym, toks: &[&Token]) -> Vec<Call> {
+/// Scans one body's comment-free tokens (paired with their index in
+/// the file's full token stream) for call sites.
+fn collect_calls(table: &SymbolTable, caller: &FnSym, toks: &[(usize, &Token)]) -> Vec<Call> {
     let mut out = Vec::new();
-    for (j, t) in toks.iter().enumerate() {
+    for (j, (orig, t)) in toks.iter().enumerate() {
         if !t.is_op("(") || j == 0 {
             continue;
         }
@@ -94,18 +100,18 @@ fn collect_calls(table: &SymbolTable, caller: &FnSym, toks: &[&Token]) -> Vec<Ca
         let mut k = j - 1;
         if toks
             .get(k)
-            .is_some_and(|t| matches!(t.text.as_str(), ">" | ">>"))
+            .is_some_and(|(_, t)| matches!(t.text.as_str(), ">" | ">>"))
         {
             let Some(open) = skip_angles_back(toks, k) else {
                 continue;
             };
-            if open < 2 || !toks.get(open - 1).is_some_and(|t| t.is_op("::")) {
+            if open < 2 || !toks.get(open - 1).is_some_and(|(_, t)| t.is_op("::")) {
                 continue;
             }
             k = open - 2;
         }
         let name_tok = match toks.get(k) {
-            Some(t) if t.kind == TokKind::Ident => *t,
+            Some((_, t)) if t.kind == TokKind::Ident => *t,
             _ => continue,
         };
         if NON_CALL_KEYWORDS.contains(&name_tok.text.as_str()) {
@@ -115,21 +121,23 @@ fn collect_calls(table: &SymbolTable, caller: &FnSym, toks: &[&Token]) -> Vec<Ca
         let mut path = vec![name_tok.text.clone()];
         let mut p = k;
         while p >= 2
-            && toks.get(p - 1).is_some_and(|t| t.is_op("::"))
-            && toks.get(p - 2).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(p - 1).is_some_and(|(_, t)| t.is_op("::"))
+            && toks
+                .get(p - 2)
+                .is_some_and(|(_, t)| t.kind == TokKind::Ident)
         {
             p -= 2;
-            if let Some(seg) = toks.get(p) {
+            if let Some((_, seg)) = toks.get(p) {
                 path.insert(0, seg.text.clone());
             }
         }
         let before = p.checked_sub(1).and_then(|q| toks.get(q));
-        if before.is_some_and(|t| t.is_ident("fn")) {
+        if before.is_some_and(|(_, t)| t.is_ident("fn")) {
             continue; // nested `fn` declaration, not a call
         }
-        let is_method = path.len() == 1 && before.is_some_and(|t| t.is_op("."));
+        let is_method = path.len() == 1 && before.is_some_and(|(_, t)| t.is_op("."));
         let receiver_is_self =
-            is_method && p >= 2 && toks.get(p - 2).is_some_and(|t| t.is_ident("self"));
+            is_method && p >= 2 && toks.get(p - 2).is_some_and(|(_, t)| t.is_ident("self"));
         let callees = resolve(table, caller, &path, is_method, receiver_is_self);
         let expr = if is_method {
             format!(".{}", name_tok.text)
@@ -140,6 +148,7 @@ fn collect_calls(table: &SymbolTable, caller: &FnSym, toks: &[&Token]) -> Vec<Ca
             callees,
             line: name_tok.line,
             expr,
+            paren: *orig,
         });
     }
     out
@@ -147,11 +156,11 @@ fn collect_calls(table: &SymbolTable, caller: &FnSym, toks: &[&Token]) -> Vec<Ca
 
 /// From a closing `>`/`>>` at `close`, steps back to the index of the
 /// matching opening `<`; `None` when unbalanced.
-fn skip_angles_back(toks: &[&Token], close: usize) -> Option<usize> {
+fn skip_angles_back(toks: &[(usize, &Token)], close: usize) -> Option<usize> {
     let mut depth = 0i64;
     let mut i = close;
     loop {
-        let t = toks.get(i)?;
+        let (_, t) = toks.get(i)?;
         match t.text.as_str() {
             ">" => depth += 1,
             ">>" => depth += 2,

@@ -267,6 +267,31 @@ pub fn node_at() {
     }
 
     #[test]
+    fn chains_cross_impl_trait_signatures() {
+        // Regression: an `impl Trait` param used to make the symbol
+        // table drop `helper`'s body, so this chain went unseen and the
+        // "clean run is a proof" contract was silently false.
+        let src = "\
+fn main() { helper(1, |x| x); }
+fn helper(n: u64, f: impl Fn(u64) -> u64) -> u64 { boom(f(n)) }
+fn boom(n: u64) -> u64 { n.checked_add(1).unwrap() }
+";
+        let diags = check_reach(
+            &entry_cfg("\"cli::main\""),
+            &[("crates/cli/src/main.rs", src)],
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        let d = diags.first().expect("one finding");
+        assert_eq!(d.line, 3);
+        assert_eq!(
+            d.chain.as_deref(),
+            Some("cli::main → cli::helper → cli::boom"),
+            "{:?}",
+            d.chain
+        );
+    }
+
+    #[test]
     fn unreachable_and_test_panics_are_ignored() {
         let src = "\
 fn main() { safe(); }

@@ -127,11 +127,10 @@ impl Report {
             }
             let _ = writeln!(
                 out,
-                "::{level} file={},line={},title={} {}::{}",
-                d.rel,
+                "::{level} file={},line={},title={}::{}",
+                github_escape_prop(&d.rel),
                 d.line,
-                d.rule,
-                d.name,
+                github_escape_prop(&format!("{} {}", d.rule, d.name)),
                 github_escape(&message)
             );
         }
@@ -193,6 +192,13 @@ fn github_escape(s: &str) -> String {
     s.replace('%', "%25")
         .replace('\r', "%0D")
         .replace('\n', "%0A")
+}
+
+/// Escapes a workflow-command *property* value (`file=`, `title=`):
+/// on top of the message escapes, `,` and `:` must be percent-encoded
+/// or they terminate the property / command early.
+fn github_escape_prop(s: &str) -> String {
+    github_escape(s).replace(':', "%3A").replace(',', "%2C")
 }
 
 /// JSON string escaping (control characters, quotes, backslashes).
@@ -297,5 +303,19 @@ mod tests {
     #[test]
     fn github_escape_encodes_control_sequences() {
         assert_eq!(github_escape("a%b\nc"), "a%25b%0Ac");
+    }
+
+    #[test]
+    fn github_property_values_escape_commas_and_colons() {
+        assert_eq!(github_escape_prop("a:b,c%d"), "a%3Ab%2Cc%25d");
+        let mut r = Report::default();
+        let mut d = diag("L001", Severity::Deny, false);
+        d.rel = "crates/x/src/odd,name:file.rs".into();
+        r.diagnostics.push(d);
+        let gh = r.render_github();
+        assert!(
+            gh.contains("file=crates/x/src/odd%2Cname%3Afile.rs,line="),
+            "a `,`/`:` in a property value must not split the annotation: {gh}"
+        );
     }
 }

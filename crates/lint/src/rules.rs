@@ -39,8 +39,8 @@ use crate::config::Config;
 use crate::lexer::{int_suffix, TokKind, Token};
 use crate::report::{Diagnostic, Severity};
 use crate::scan::ScannedFile;
-use crate::symbols::SymbolTable;
-use std::collections::BTreeSet;
+use crate::symbols::{FnSym, SymbolTable};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A lint rule over one scanned file.
 pub trait Rule {
@@ -670,7 +670,13 @@ pub(crate) fn arith_sites(file: &ScannedFile) -> Vec<(usize, String)> {
     // Angle-bracket depth, so `>>` closing nested generics
     // (`IntoIterator<Item = Addr>>(iter`) is not mistaken for a shift.
     // A `<` opens generics only when it hugs the preceding ident or
-    // `::` (`Vec<`, `collect::<`); a spaced `a < b` is a comparison.
+    // `::` (`Vec<`, `collect::<`) AND the next token can start a type;
+    // a spaced `a < b` is a comparison. An un-spaced comparison
+    // (`a<b`) still opens a bogus context, so operators that cannot
+    // occur inside generics (`&&`, `||`, `==`, …) reset the depth —
+    // otherwise a real shift later in the same statement would be
+    // swallowed. (`a<b` followed by a shift before any such operator,
+    // e.g. in one argument list, remains a known blind spot.)
     let mut angle = 0usize;
     for (j, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Op {
@@ -679,14 +685,19 @@ pub(crate) fn arith_sites(file: &ScannedFile) -> Vec<(usize, String)> {
         let hugs_prev = j.checked_sub(1).and_then(|p| toks.get(p)).is_some_and(|p| {
             p.end == t.start && (p.kind == TokKind::Ident || p.is_op("::") || p.is_op(">"))
         });
+        let next_starts_type = toks.get(j + 1).is_some_and(|n| match n.kind {
+            TokKind::Ident | TokKind::Lifetime | TokKind::Int => true,
+            TokKind::Op => matches!(n.text.as_str(), "<" | "&" | "(" | "[" | "*"),
+            _ => false,
+        });
         match t.text.as_str() {
-            "<" if hugs_prev => angle = angle.saturating_add(1),
+            "<" if hugs_prev && next_starts_type => angle = angle.saturating_add(1),
             ">" if angle > 0 => angle = angle.saturating_sub(1),
             ">>" if angle > 0 => {
                 angle = angle.saturating_sub(2);
                 continue;
             }
-            ";" | "{" | "}" => angle = 0,
+            ";" | "{" | "}" | "&&" | "||" | "==" | "!=" | "<=" | ">=" | "=>" => angle = 0,
             _ => {}
         }
         if file.is_test_line(t.line) {
@@ -785,6 +796,8 @@ impl SemanticRule for DiscardedResults {
     }
     fn check(&self, ws: &Workspace<'_>, _cfg: &Config, out: &mut Vec<Diagnostic>) {
         let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        // Comment-free token views, built lazily once per file.
+        let mut views: BTreeMap<usize, Vec<(usize, &Token)>> = BTreeMap::new();
         for (id, f) in ws.symbols.fns.iter().enumerate() {
             if f.is_test {
                 continue;
@@ -793,25 +806,51 @@ impl SemanticRule for DiscardedResults {
                 continue;
             };
             for call in ws.calls.calls.get(id).into_iter().flatten() {
-                let fallible = call.callees.iter().any(|&k| {
-                    ws.symbols
-                        .fns
-                        .get(k)
-                        .is_some_and(|c| c.returns_result && !c.is_test)
-                });
-                if !fallible {
+                let candidates: Vec<&FnSym> = call
+                    .callees
+                    .iter()
+                    .filter_map(|&k| ws.symbols.fns.get(k))
+                    .filter(|c| !c.is_test)
+                    .collect();
+                if candidates.is_empty() || !candidates.iter().any(|c| c.returns_result) {
                     continue;
                 }
+                // The call resolves by name only, so same-name
+                // infallible candidates make a `let _ =` legitimate;
+                // require *every* candidate to return Result before
+                // claiming a Result was discarded there.
+                let all_result = candidates.iter().all(|c| c.returns_result);
                 let Some(line) = file.lines.get(call.line.saturating_sub(1)) else {
                     continue;
                 };
                 if line.in_test {
                     continue;
                 }
-                let code = line.code.trim();
-                let how = if code.starts_with("let _ =") || code.starts_with("let _=") {
+                let toks = views.entry(f.file).or_insert_with(|| {
+                    file.tokens
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| {
+                            !matches!(
+                                t.kind,
+                                TokKind::LineComment { .. } | TokKind::BlockComment { .. }
+                            )
+                        })
+                        .collect()
+                });
+                let Ok(pos) = toks.binary_search_by_key(&call.paren, |&(o, _)| o) else {
+                    continue;
+                };
+                let (stmt_start, saw_eq) = stmt_context(toks, pos);
+                let is_let_underscore =
+                    toks.get(stmt_start).is_some_and(|(_, t)| t.is_ident("let"))
+                        && toks
+                            .get(stmt_start + 1)
+                            .is_some_and(|(_, t)| t.is_ident("_"))
+                        && toks.get(stmt_start + 2).is_some_and(|(_, t)| t.is_op("="));
+                let how = if is_let_underscore && all_result {
                     "`let _ =` discards"
-                } else if code.ends_with(".ok();") && !code.contains('=') {
+                } else if !is_let_underscore && !saw_eq && trailing_ok_discard(toks, pos) {
                     "a trailing `.ok()` swallows"
                 } else {
                     continue;
@@ -832,6 +871,122 @@ impl SemanticRule for DiscardedResults {
             }
         }
     }
+}
+
+/// Walks left from the token at `pos` to the start of the enclosing
+/// statement. Returns `(statement start index, saw a bare depth-0 `=`)`.
+/// Closers passed on the way (a preceding `{ … }` block, a closure
+/// body) are skipped as balanced groups so their `;`/`=` don't count.
+fn stmt_context(toks: &[(usize, &Token)], pos: usize) -> (usize, bool) {
+    let mut depth = 0i64;
+    let mut saw_eq = false;
+    let mut j = pos;
+    while j > 0 {
+        j -= 1;
+        let (_, t) = toks[j];
+        if t.kind != TokKind::Op {
+            continue;
+        }
+        match t.text.as_str() {
+            ")" | "]" | "}" => depth += 1,
+            "(" | "[" | "{" if depth == 0 => return (j + 1, saw_eq),
+            "(" | "[" | "{" => depth -= 1,
+            ";" | "," if depth == 0 => return (j + 1, saw_eq),
+            "=" if depth == 0 => saw_eq = true,
+            _ => {}
+        }
+    }
+    (0, saw_eq)
+}
+
+/// True when the postfix chain following the call's argument list (its
+/// opening `(` is at `open`) ends in `.ok()` immediately followed by
+/// `;` — i.e. the `Result` is converted to an `Option` and dropped.
+/// Works on the token stream, so a chain wrapped across lines is seen
+/// whole.
+fn trailing_ok_discard(toks: &[(usize, &Token)], open: usize) -> bool {
+    let Some(mut j) = skip_parens(toks, open) else {
+        return false;
+    };
+    let mut last_is_ok = false;
+    loop {
+        match toks.get(j).map(|(_, t)| *t) {
+            Some(t) if t.is_op(".") => {
+                let Some((_, name)) = toks.get(j + 1) else {
+                    return false;
+                };
+                if !matches!(name.kind, TokKind::Ident | TokKind::Int) {
+                    return false; // not a field/method chain we model
+                }
+                let mut after = j + 2;
+                // Optional `::<…>` turbofish between name and `(`.
+                if toks.get(after).is_some_and(|(_, t)| t.is_op("::"))
+                    && toks.get(after + 1).is_some_and(|(_, t)| t.is_op("<"))
+                {
+                    match skip_angles(toks, after + 1) {
+                        Some(n) => after = n,
+                        None => return false,
+                    }
+                }
+                if toks.get(after).is_some_and(|(_, t)| t.is_op("(")) {
+                    last_is_ok = name.text == "ok" && after == j + 2;
+                    match skip_parens(toks, after) {
+                        Some(n) => j = n,
+                        None => return false,
+                    }
+                } else {
+                    last_is_ok = false; // field access or `.await`
+                    j = after;
+                }
+            }
+            Some(t) if t.is_op("?") => {
+                last_is_ok = false;
+                j += 1;
+            }
+            Some(t) => return last_is_ok && t.is_op(";"),
+            None => return false,
+        }
+    }
+}
+
+/// Index just past the `)` matching the `(` at `open`; `None` when the
+/// group never closes.
+fn skip_parens(toks: &[(usize, &Token)], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut j = open;
+    while let Some((_, t)) = toks.get(j) {
+        if t.is_op("(") {
+            depth += 1;
+        } else if t.is_op(")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j + 1);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index just past the `>`/`>>` closing the `<` at `open`; `None` when
+/// unbalanced.
+fn skip_angles(toks: &[(usize, &Token)], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut j = open;
+    while let Some((_, t)) = toks.get(j) {
+        match t.text.as_str() {
+            "<" => depth += 1,
+            "<<" => depth += 2,
+            ">" => depth -= 1,
+            ">>" => depth -= 2,
+            _ => {}
+        }
+        if depth <= 0 {
+            return Some(j + 1);
+        }
+        j += 1;
+    }
+    None
 }
 
 #[cfg(test)]
@@ -983,6 +1138,22 @@ pub fn f<I: IntoIterator<Item = u64>>(iter: I, n: u32) -> u128 {
     }
 
     #[test]
+    fn l006_unspaced_comparison_does_not_swallow_later_shift() {
+        // Regression: `n<m` hugging an ident used to open a bogus
+        // generic context, so the depth tracker ate the `>>` later in
+        // the same statement and the variable shift went unflagged.
+        let bad = "fn f(n: u64, m: u64, k: u32) -> bool { let ok = n<m || (n >> k) == 0; ok }\n";
+        let diags = check_one(&UncheckedArith, bad);
+        assert!(
+            diags.iter().any(|d| d.message.contains("`>>`")),
+            "{diags:?}"
+        );
+        // A spaced comparison followed by a generic closer still parses.
+        let ok = "fn g(n: u64) -> bool { n < 3 && Vec::<Vec<u8>>::new().is_empty() }\n";
+        assert!(check_one(&UncheckedArith, ok).is_empty());
+    }
+
+    #[test]
     fn l006_skips_unary_minus_and_tests() {
         let ok = "\
 fn f(x: i8) -> i8 {
@@ -1045,5 +1216,53 @@ fn driver() -> Result<(), E> {
 ";
         let diags = check_semantic(&DiscardedResults, &[("crates/x/src/lib.rs", src)]);
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn l007_sees_multiline_ok_chains() {
+        // Regression: `.ok()` detection used to inspect only the call
+        // name's own line, so wrapping the chain hid the discard.
+        let src = "\
+pub fn save(x: u64) -> Result<(), E> { Ok(()) }
+fn driver() {
+    save(1)
+        .ok();
+}
+fn kept() {
+    let r = save(2)
+        .ok();
+    drop(r);
+}
+";
+        let diags = check_semantic(&DiscardedResults, &[("crates/x/src/lib.rs", src)]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        let d = diags.first().expect("one finding");
+        assert!(d.message.contains("`.ok()`"), "{}", d.message);
+        assert_eq!(d.line, 3, "anchored at the call, not the `.ok()` line");
+    }
+
+    #[test]
+    fn l007_let_underscore_needs_every_candidate_fallible() {
+        // `s.flush()` resolves by name to both methods; the Sink one is
+        // infallible, so `let _ =` on an unknown receiver is legitimate.
+        let src = "\
+struct Sink;
+struct Store;
+impl Sink {
+    pub fn flush(&self) {}
+}
+impl Store {
+    pub fn flush(&self) -> Result<(), E> { Ok(()) }
+}
+fn mixed(s: &Sink) {
+    let _ = s.flush();
+}
+fn certain(st: &Store) {
+    let _ = Store::flush(st);
+}
+";
+        let diags = check_semantic(&DiscardedResults, &[("crates/x/src/lib.rs", src)]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags.first().map(|d| d.line), Some(13), "{diags:?}");
     }
 }

@@ -237,7 +237,11 @@ fn parse_file(table: &mut SymbolTable, file_idx: usize, file: &ScannedFile) -> F
                         i += 1;
                     }
                 }
-                "impl" => {
+                // Only an item-position `impl` opens an impl block.
+                // With a Pending::Fn (or other item) active, this is
+                // `impl Trait` inside a signature (`f: impl Fn(u64)`,
+                // `-> impl Iterator`) and must not steal the body.
+                "impl" if pending.is_none() => {
                     if let Some(ty) = impl_self_type(&toks, i + 1) {
                         pending = Some(Pending::SelfTy(ty));
                     }
@@ -724,6 +728,42 @@ fn f() {}
             uses["helper"],
             vec!["cli", "commands", "census", "sub", "helper"]
         );
+    }
+
+    #[test]
+    fn impl_trait_in_signature_keeps_the_body() {
+        // Regression: `impl` inside a fn signature (param or return
+        // position) used to overwrite the pending fn with a bogus
+        // impl-block scope, dropping the body (and with it every
+        // call-graph edge out of the function).
+        let src = "\
+fn helper(n: u64, f: impl Fn(u64) -> u64) -> impl Iterator<Item = u64> {
+    inner();
+    std::iter::once(f(n))
+}
+fn inner() {}
+fn outer(x: impl Into<String>) {
+    fn nested() {}
+    nested();
+}
+";
+        let (t, files) = table_of("crates/x/src/lib.rs", src);
+        let helper = t.fns.iter().find(|f| f.name == "helper").expect("helper");
+        assert!(helper.self_ty.is_none(), "not a method: {helper:?}");
+        let (s, e) = helper.body.expect("impl Trait must not steal the body");
+        let body = &files[0].tokens[s..e];
+        assert!(
+            body.iter().any(|t| t.is_ident("inner")),
+            "body covers the call to inner"
+        );
+        let nested = t.fns.iter().find(|f| f.name == "nested").expect("nested");
+        assert!(
+            nested.self_ty.is_none(),
+            "nested fn is not a method of the trait name: {nested:?}"
+        );
+        assert_eq!(nested.qname, "x::nested");
+        let outer = t.fns.iter().find(|f| f.name == "outer").expect("outer");
+        assert!(outer.body.is_some());
     }
 
     #[test]

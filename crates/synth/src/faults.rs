@@ -473,7 +473,7 @@ impl AnalysisFaultPlan {
     pub fn trip(&self, unit: &str, attempt: u32) {
         match self.fault_for(unit) {
             Some(AnalysisFault::PanicShard { attempts }) if attempt < attempts => {
-                panic!("injected panic in unit `{unit}` (attempt {attempt})");
+                panic!("injected panic in unit `{unit}` (attempt {attempt})"); // lint: allow(R001, reason = "deliberate fault injection; the supervisor calls trip() inside catch_unwind, so this panic is contained and surfaced as a unit failure")
             }
             Some(AnalysisFault::HangShard { millis })
             | Some(AnalysisFault::SlowShard { millis }) => {
