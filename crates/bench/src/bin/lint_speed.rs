@@ -1,8 +1,11 @@
 //! Benchmarks the full `v6census-lint` pipeline — scan, lex, symbol
 //! table, call graph, per-file rules, semantic rules — over the
-//! workspace at HEAD, and emits a `BENCH_lint.json` point (files
-//! scanned, findings, wall ms) so later PRs can track lint throughput
-//! as the rule set and the codebase grow.
+//! workspace at HEAD, plus the R002 abstract-interpretation pass in
+//! isolation, and emits a `BENCH_lint.json` point (files scanned,
+//! findings, wall ms, dataflow timings and summary counters) so later
+//! PRs can track lint throughput as the rule set and the codebase grow.
+//! The JSON is written to the repository root unconditionally; CI
+//! uploads it as an artifact and commits track it as the baseline.
 //!
 //! `BENCH_QUICK=1` trims samples for CI smoke runs.
 
@@ -10,7 +13,10 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
-use lint::engine::{lint_workspace, load_config, SeverityMap};
+use lint::callgraph::CallGraph;
+use lint::engine::{discover, lint_workspace, load_config, SeverityMap};
+use lint::rules::Workspace;
+use lint::symbols::SymbolTable;
 use v6census_bench::Opts;
 
 fn main() {
@@ -33,6 +39,7 @@ fn main() {
     let files_scanned = report.files_scanned;
     let findings = report.diagnostics.len();
     let suppressed = report.suppressed_count();
+    let discharged = report.discharged_count();
 
     let mut times: Vec<f64> = Vec::new();
     for _ in 0..samples {
@@ -48,12 +55,53 @@ fn main() {
     let (min, median) = (times[0], times[times.len() / 2]);
     let files_per_sec = f64::from(u32::try_from(files_scanned).unwrap_or(u32::MAX)) / (min / 1e3);
 
+    // The R002 dataflow pass in isolation: build the shared inputs
+    // (scan, symbols, call graph) once, then time `analyze` alone so
+    // the abstract-interpretation cost is tracked separately from the
+    // full pipeline. The lint crate itself takes no wall-clock reads
+    // (determinism discipline), so the timing lives out here.
+    let paths = discover(&root).expect("workspace discovery");
+    let files: Vec<_> = paths
+        .iter()
+        .map(|p| {
+            let rel = p
+                .strip_prefix(&root)
+                .unwrap_or(p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = std::fs::read_to_string(p).expect("read source file");
+            lint::scan::scan(p.clone(), rel, &text)
+        })
+        .collect();
+    let symbols = SymbolTable::build(&files);
+    let calls = CallGraph::build(&symbols, &files);
+    let ws = Workspace {
+        files: &files,
+        symbols: &symbols,
+        calls: &calls,
+    };
+    let mut flow_times: Vec<f64> = Vec::new();
+    let mut stats = lint::dataflow::DataflowStats::default();
+    for _ in 0..samples {
+        let start = Instant::now();
+        let res = lint::dataflow::analyze(&ws, &cfg);
+        flow_times.push(start.elapsed().as_secs_f64() * 1e3);
+        stats = res.stats;
+    }
+    flow_times.sort_by(|a, b| a.total_cmp(b));
+    let (flow_min, flow_median) = (flow_times[0], flow_times[flow_times.len() / 2]);
+
     println!(
-        "lint_workspace  {files_scanned} files, {findings} findings ({suppressed} suppressed)"
+        "lint_workspace  {files_scanned} files, {findings} findings ({suppressed} suppressed, {discharged} discharged)"
     );
     println!(
         "                min {min:>8.2}ms   median {median:>8.2}ms   {files_per_sec:>8.0} files/s"
     );
+    println!(
+        "dataflow (R002) {} fns, {} passes, {} summaries, {}/{} obligations proven",
+        stats.fns_analyzed, stats.passes, stats.summaries, stats.proven, stats.obligations
+    );
+    println!("                min {flow_min:>8.2}ms   median {flow_median:>8.2}ms");
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"lint_speed\",");
@@ -61,9 +109,20 @@ fn main() {
     let _ = writeln!(json, "  \"files_scanned\": {files_scanned},");
     let _ = writeln!(json, "  \"findings\": {findings},");
     let _ = writeln!(json, "  \"suppressed\": {suppressed},");
+    let _ = writeln!(json, "  \"discharged\": {discharged},");
     let _ = writeln!(json, "  \"wall_ms_min\": {min:.3},");
     let _ = writeln!(json, "  \"wall_ms_median\": {median:.3},");
-    let _ = writeln!(json, "  \"files_per_sec\": {files_per_sec:.1}");
+    let _ = writeln!(json, "  \"files_per_sec\": {files_per_sec:.1},");
+    let _ = writeln!(json, "  \"dataflow\": {{");
+    let _ = writeln!(json, "    \"fns_analyzed\": {},", stats.fns_analyzed);
+    let _ = writeln!(json, "    \"passes\": {},", stats.passes);
+    let _ = writeln!(json, "    \"summaries\": {},", stats.summaries);
+    let _ = writeln!(json, "    \"obligations\": {},", stats.obligations);
+    let _ = writeln!(json, "    \"proven\": {},", stats.proven);
+    let _ = writeln!(json, "    \"wall_ms_min\": {flow_min:.3},");
+    let _ = writeln!(json, "    \"wall_ms_median\": {flow_median:.3}");
+    let _ = writeln!(json, "  }}");
     json.push_str("}\n");
     opts.emit("BENCH_lint.json", &json);
+    v6census_bench::write_baseline("BENCH_lint.json", &json);
 }

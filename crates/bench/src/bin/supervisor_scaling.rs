@@ -2,7 +2,9 @@
 //! on a fixed synthetic world, verifying on the way that every parallel
 //! run is equivalent to the serial one, and emits a
 //! `BENCH_supervisor.json` point so later PRs can track the
-//! parallel-speedup trajectory.
+//! parallel-speedup trajectory. The JSON is written to the repository
+//! root unconditionally; CI uploads it as an artifact and commits
+//! track it as the baseline.
 //!
 //! `BENCH_QUICK=1` trims samples for CI smoke runs.
 
@@ -110,6 +112,7 @@ fn main() {
     let _ = writeln!(json, "  \"speedup_jobs8_vs_jobs1\": {speedup:.3}");
     json.push_str("}\n");
     opts.emit("BENCH_supervisor.json", &json);
+    v6census_bench::write_baseline("BENCH_supervisor.json", &json);
 
     let _ = std::fs::remove_dir_all(&dir);
 }

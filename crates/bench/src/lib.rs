@@ -91,6 +91,18 @@ impl Opts {
     }
 }
 
+/// Writes a benchmark JSON point at the repository root (next to the
+/// workspace `Cargo.toml`), unconditionally — the `BENCH_*.json` files
+/// are committed as the tracked baseline and uploaded by CI as build
+/// artifacts. `Opts::emit` still honors `--out` for ad-hoc copies.
+pub fn write_baseline(name: &str, content: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name);
+    std::fs::write(&path, content).expect("write baseline JSON at repo root");
+    eprintln!("[baseline {}]", path.display());
+}
+
 /// A minimal wall-clock timing harness so `cargo bench` works with no
 /// external crates. Each benchmark runs one warm-up pass, then a fixed
 /// number of timed samples; the report shows the minimum (least noisy)

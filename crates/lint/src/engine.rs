@@ -119,11 +119,22 @@ pub fn lint_files(
         calls: &calls,
     };
     for rule in semantic_registry() {
+        // R002 runs below through `dataflow::analyze` directly so the
+        // proof sets are available for the L003/L006 discharge pass.
+        if rule.id() == "R002" {
+            continue;
+        }
         let mut out = Vec::new();
         rule.check(&ws, cfg, &mut out);
         out.retain(|d| cfg.rule_applies(rule.id(), &d.rel));
         all.append(&mut out);
     }
+
+    // Layer 2b: the abstract-interpretation pass (rule R002). Its
+    // findings join the normal pragma flow; its proof sets discharge
+    // syntactic L003/L006 findings after pragmas are applied.
+    let flow = crate::dataflow::analyze(&ws, cfg);
+    all.extend(flow.findings.iter().cloned());
 
     // Layer 3: pragma application and severity mapping, per file.
     let mut by_rel: BTreeMap<&str, Vec<Diagnostic>> = BTreeMap::new();
@@ -139,6 +150,14 @@ pub fn lint_files(
     for file in &scanned {
         let mut file_diags = by_rel.remove(file.rel.as_str()).unwrap_or_default();
         apply_pragmas(file, &mut file_diags);
+        // Dataflow discharge runs *after* pragma application so a
+        // pragma that suppresses a now-proven site still counts as
+        // used (deleting it is a follow-up, not a new P001 failure).
+        for d in &mut file_diags {
+            if !d.suppressed && flow.discharges(d) {
+                d.discharged_by = Some("R002".to_string());
+            }
+        }
         for d in &mut file_diags {
             d.severity = severities.severity_of(&d.rule);
         }
@@ -295,6 +314,7 @@ fn pragma_diag(
         chain: None,
         severity: Severity::Deny,
         suppressed: false,
+        discharged_by: None,
     }
 }
 

@@ -4,10 +4,13 @@
 //! panic-free library paths, byte-for-byte deterministic product
 //! output, lossless bit/nybble casts, a typed error taxonomy, and a
 //! documented process exit-code mapping. This crate enforces them as
-//! five lexical rules (`L001`–`L005`) over comment- and string-blanked
-//! source, with per-line `// lint: allow(<rule>, reason = "...")`
-//! suppression pragmas that are themselves machine-checked (`P000`,
-//! `P001`).
+//! lexical rules (`L001`–`L007`) over comment- and string-blanked
+//! source, two interprocedural proofs — `R001` panic-reachability
+//! over the [`callgraph`] and the `R002` bit-domain dataflow
+//! ([`dataflow`], an interval + unit abstract interpretation whose
+//! proofs discharge `L003`/`L006`'s syntactic findings) — and
+//! per-line `// lint: allow(<rule>, reason = "...")` suppression
+//! pragmas that are themselves machine-checked (`P000`, `P001`).
 //!
 //! Run it as `cargo run -p lint -- --workspace` (add `--deny all` in
 //! CI). Rule scopes live in the checked-in `lint.toml`.
@@ -17,10 +20,13 @@
 
 pub mod callgraph;
 pub mod config;
+pub mod dataflow;
 pub mod engine;
+pub mod intervals;
 pub mod lexer;
 pub mod reach;
 pub mod report;
 pub mod rules;
 pub mod scan;
 pub mod symbols;
+pub mod units;

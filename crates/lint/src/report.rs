@@ -33,6 +33,11 @@ pub struct Diagnostic {
     pub severity: Severity,
     /// True when an allow pragma suppressed this finding.
     pub suppressed: bool,
+    /// Set when another rule's analysis proved this site safe and
+    /// auto-discharged the finding (e.g. `"R002"` on an L003/L006 site
+    /// the dataflow proved in-range). Discharged findings never deny
+    /// and are hidden from human output, but stay visible in JSON.
+    pub discharged_by: Option<String>,
 }
 
 /// The result of a lint run.
@@ -50,19 +55,27 @@ impl Report {
     pub fn denied(&self) -> impl Iterator<Item = &Diagnostic> {
         self.diagnostics
             .iter()
-            .filter(|d| d.severity == Severity::Deny && !d.suppressed)
+            .filter(|d| d.severity == Severity::Deny && !d.suppressed && d.discharged_by.is_none())
     }
 
     /// Unsuppressed warn-level findings.
     pub fn warned(&self) -> impl Iterator<Item = &Diagnostic> {
         self.diagnostics
             .iter()
-            .filter(|d| d.severity == Severity::Warn && !d.suppressed)
+            .filter(|d| d.severity == Severity::Warn && !d.suppressed && d.discharged_by.is_none())
     }
 
     /// Suppressed findings (an allow pragma matched).
     pub fn suppressed_count(&self) -> usize {
         self.diagnostics.iter().filter(|d| d.suppressed).count()
+    }
+
+    /// Findings auto-discharged by another rule's proof.
+    pub fn discharged_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.discharged_by.is_some())
+            .count()
     }
 
     /// The process exit code this report dictates.
@@ -74,8 +87,11 @@ impl Report {
     /// one-line summary, sorted by path and line for stable output.
     pub fn render_human(&self) -> String {
         let mut out = String::new();
-        let mut shown: Vec<&Diagnostic> =
-            self.diagnostics.iter().filter(|d| !d.suppressed).collect();
+        let mut shown: Vec<&Diagnostic> = self
+            .diagnostics
+            .iter()
+            .filter(|d| !d.suppressed && d.discharged_by.is_none())
+            .collect();
         shown.sort_by(|a, b| (&a.rel, a.line, &a.rule).cmp(&(&b.rel, b.line, &b.rule)));
         for d in &shown {
             let sev = match d.severity {
@@ -96,13 +112,24 @@ impl Report {
         }
         let _ = writeln!(
             out,
-            "v6census-lint: {} denied, {} warned, {} suppressed by pragma; {} files scanned",
+            "v6census-lint: {} denied, {} warned, {} suppressed by pragma{}; {} files scanned",
             self.denied().count(),
             self.warned().count(),
             self.suppressed_count(),
+            self.discharged_segment(),
             self.files_scanned
         );
         out
+    }
+
+    /// `, N discharged by dataflow` when any finding was discharged,
+    /// empty otherwise (keeps the summary line stable for runs where
+    /// the dataflow has nothing to say).
+    fn discharged_segment(&self) -> String {
+        match self.discharged_count() {
+            0 => String::new(),
+            n => format!(", {n} discharged by dataflow"),
+        }
     }
 
     /// GitHub Actions workflow-command annotations: one
@@ -111,8 +138,11 @@ impl Report {
     /// line (a plain line, which Actions passes through).
     pub fn render_github(&self) -> String {
         let mut out = String::new();
-        let mut shown: Vec<&Diagnostic> =
-            self.diagnostics.iter().filter(|d| !d.suppressed).collect();
+        let mut shown: Vec<&Diagnostic> = self
+            .diagnostics
+            .iter()
+            .filter(|d| !d.suppressed && d.discharged_by.is_none())
+            .collect();
         shown.sort_by(|a, b| (&a.rel, a.line, &a.rule).cmp(&(&b.rel, b.line, &b.rule)));
         for d in &shown {
             let level = match d.severity {
@@ -136,10 +166,11 @@ impl Report {
         }
         let _ = writeln!(
             out,
-            "v6census-lint: {} denied, {} warned, {} suppressed by pragma; {} files scanned",
+            "v6census-lint: {} denied, {} warned, {} suppressed by pragma{}; {} files scanned",
             self.denied().count(),
             self.warned().count(),
             self.suppressed_count(),
+            self.discharged_segment(),
             self.files_scanned
         );
         out
@@ -159,9 +190,13 @@ impl Report {
                 Some(c) => json_str(c),
                 None => "null".to_string(),
             };
+            let discharged = match &d.discharged_by {
+                Some(r) => json_str(r),
+                None => "null".to_string(),
+            };
             let _ = write!(
                 out,
-                "{}\n    {{\"rule\": {}, \"name\": {}, \"path\": {}, \"line\": {}, \"severity\": {}, \"suppressed\": {}, \"message\": {}, \"snippet\": {}, \"chain\": {}}}",
+                "{}\n    {{\"rule\": {}, \"name\": {}, \"path\": {}, \"line\": {}, \"severity\": {}, \"suppressed\": {}, \"discharged_by\": {}, \"message\": {}, \"snippet\": {}, \"chain\": {}}}",
                 if i == 0 { "" } else { "," },
                 json_str(&d.rule),
                 json_str(d.name),
@@ -169,6 +204,7 @@ impl Report {
                 d.line,
                 json_str(sev),
                 d.suppressed,
+                discharged,
                 json_str(&d.message),
                 json_str(&d.snippet),
                 chain,
@@ -176,10 +212,11 @@ impl Report {
         }
         let _ = write!(
             out,
-            "\n  ],\n  \"summary\": {{\"denied\": {}, \"warned\": {}, \"suppressed\": {}, \"files_scanned\": {}}}\n}}\n",
+            "\n  ],\n  \"summary\": {{\"denied\": {}, \"warned\": {}, \"suppressed\": {}, \"discharged\": {}, \"files_scanned\": {}}}\n}}\n",
             self.denied().count(),
             self.warned().count(),
             self.suppressed_count(),
+            self.discharged_count(),
             self.files_scanned
         );
         out
@@ -237,6 +274,7 @@ mod tests {
             chain: None,
             severity: sev,
             suppressed,
+            discharged_by: None,
         }
     }
 

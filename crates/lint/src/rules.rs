@@ -96,6 +96,7 @@ pub fn semantic_registry() -> Vec<Box<dyn SemanticRule>> {
     vec![
         Box::new(DiscardedResults),
         Box::new(crate::reach::PanicReach),
+        Box::new(crate::dataflow::BitDomain),
     ]
 }
 
@@ -123,6 +124,7 @@ pub(crate) fn semantic_finding(
         chain,
         severity: Severity::Deny,
         suppressed: false,
+        discharged_by: None,
     }
 }
 
@@ -144,6 +146,7 @@ fn finding(rule: &dyn Rule, file: &ScannedFile, line: usize, message: String) ->
         chain: None,
         severity: Severity::Deny,
         suppressed: false,
+        discharged_by: None,
     }
 }
 

@@ -1,0 +1,232 @@
+//! The unit domain layered on top of the interval lattice.
+//!
+//! The paper's index spaces are tiny and easy to confuse: a *bit*
+//! position (0..=128), a *nybble* index (0..=32), and a 16-bit *segment*
+//! value all fit in a `u8`/`u16`, so the type system cannot tell them
+//! apart — but a nybble index flowing into a shift-amount parameter is
+//! exactly the off-by-4× corruption R002 exists to catch. Each abstract
+//! value therefore carries a [`Unit`] tag alongside its interval:
+//!
+//! * tags enter the analysis at annotated parameters
+//!   (`[rules.R002] bits_params = [...]` in `lint.toml`);
+//! * linear arithmetic (`+`, `-`) preserves a tag when the other operand
+//!   is untagged ([`Unit::Opaque`] is transparent: adding a plain count
+//!   to a bit offset yields a bit offset) and *flags* mixing two
+//!   distinct tags (a nybble plus a bit position is a category error);
+//! * scaling and bitwise operations destroy tags (4 × nybble-index *is*
+//!   a bit offset, so the result re-enters the analysis untagged and is
+//!   re-checked by range at the next annotated boundary);
+//! * joins of distinct tags degrade to [`Unit::Opaque`].
+//!
+//! Unit mismatch at an annotated call boundary is reported even when the
+//! value's *range* happens to fit, because a fitting range is how these
+//! bugs survive review.
+
+use crate::config::Config;
+use crate::intervals::Interval;
+
+/// What index space a value lives in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Unit {
+    /// Bit position / prefix length / shift amount: 0..=128.
+    Bits,
+    /// Nybble index into a 128-bit address: 0..=32.
+    Nybbles,
+    /// 16-bit address segment value: 0..=65535.
+    Segments,
+    /// A count of things (loop trip counts, set sizes) — unit-checked
+    /// only for range, never for mixing.
+    Count,
+    /// No unit information.
+    Opaque,
+}
+
+impl Unit {
+    /// The admissible range of the unit — the precondition an annotated
+    /// parameter imposes on its arguments.
+    pub fn range(self) -> Interval {
+        match self {
+            Unit::Bits => Interval::new(0, 128),
+            Unit::Nybbles => Interval::new(0, 32),
+            Unit::Segments => Interval::new(0, 65_535),
+            Unit::Count | Unit::Opaque => crate::intervals::TOP,
+        }
+    }
+
+    /// Human name used in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Unit::Bits => "bits",
+            Unit::Nybbles => "nybbles",
+            Unit::Segments => "segments",
+            Unit::Count => "count",
+            Unit::Opaque => "opaque",
+        }
+    }
+
+    /// Lattice join: equal tags survive, anything else is Opaque.
+    pub fn join(self, other: Unit) -> Unit {
+        if self == other {
+            self
+        } else {
+            Unit::Opaque
+        }
+    }
+
+    /// Tag propagation through linear ops (`+`, `-`): Opaque is
+    /// transparent, equal tags survive, and two distinct concrete tags
+    /// are a mixing error carried back to the caller for reporting.
+    pub fn combine_linear(self, other: Unit) -> Result<Unit, (Unit, Unit)> {
+        match (self, other) {
+            (Unit::Opaque, u) | (u, Unit::Opaque) => Ok(u),
+            (a, b) if a == b => Ok(a),
+            // Counts mix freely with anything (adding 1 to a bit offset
+            // is still a bit offset).
+            (Unit::Count, u) | (u, Unit::Count) => Ok(u),
+            (a, b) => Err((a, b)),
+        }
+    }
+}
+
+/// Parameter unit annotations from `[rules.R002]` in `lint.toml`.
+///
+/// Each entry is a `::`-separated suffix pattern matched against a
+/// callee the same way rule scopes match paths:
+///
+/// * `p` — any parameter named `p` of any function (broadest; only safe
+///   when the name is unambiguous in scope);
+/// * `densify::p` — parameter `p` of any function named `densify`;
+/// * `Addr::nybble::i` — parameter `i` of method `nybble` on type
+///   `Addr`.
+///
+/// Annotated names should be kept distinct per function name: the
+/// checker resolves method calls by name when the receiver type is
+/// unknown, so two same-named methods with *different* annotations on
+/// the same parameter position would both impose their preconditions.
+#[derive(Clone, Debug, Default)]
+pub struct Annotations {
+    /// `(pattern segments, unit)`, pattern as written minus the param.
+    entries: Vec<(Vec<String>, String, Unit)>,
+}
+
+impl Annotations {
+    /// Reads `bits_params` / `nybble_params` / `seg_params` from the
+    /// `[rules.R002]` config section.
+    pub fn from_config(cfg: &Config) -> Annotations {
+        let mut entries = Vec::new();
+        let keys: [(&str, Unit); 3] = [
+            ("bits_params", Unit::Bits),
+            ("nybble_params", Unit::Nybbles),
+            ("seg_params", Unit::Segments),
+        ];
+        for (key, unit) in keys {
+            for raw in cfg.list("rules.R002", key) {
+                let mut segs: Vec<String> = raw.split("::").map(str::to_string).collect();
+                if let Some(param) = segs.pop() {
+                    entries.push((segs, param, unit));
+                }
+            }
+        }
+        Annotations { entries }
+    }
+
+    /// The unit (if any) annotated on parameter `param` of the function
+    /// described by `(self_ty, fn_name)`.
+    pub fn param_unit(&self, self_ty: Option<&str>, fn_name: &str, param: &str) -> Option<Unit> {
+        for (segs, p, unit) in &self.entries {
+            if p != param {
+                continue;
+            }
+            let matches = match segs.len() {
+                0 => true,
+                1 => segs.first().is_some_and(|s| s == fn_name),
+                _ => {
+                    segs.last().is_some_and(|s| s == fn_name)
+                        && segs
+                            .get(segs.len() - 2)
+                            .is_some_and(|s| Some(s.as_str()) == self_ty)
+                }
+            };
+            if matches {
+                return Some(*unit);
+            }
+        }
+        None
+    }
+
+    /// True when any function named `fn_name` (any receiver) annotates
+    /// `param` — used when a method call's receiver type is unknown.
+    pub fn any_for_name(&self, fn_name: &str, param: &str) -> Option<Unit> {
+        for (segs, p, unit) in &self.entries {
+            if p != param {
+                continue;
+            }
+            let ok = match segs.len() {
+                0 => true,
+                _ => segs.last().is_some_and(|s| s == fn_name),
+            };
+            if ok {
+                return Some(*unit);
+            }
+        }
+        None
+    }
+
+    /// True when no annotations were configured.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_combination_propagates_and_flags_mixing() {
+        // Opaque is transparent in both positions.
+        assert_eq!(Unit::Bits.combine_linear(Unit::Opaque), Ok(Unit::Bits));
+        assert_eq!(
+            Unit::Opaque.combine_linear(Unit::Nybbles),
+            Ok(Unit::Nybbles)
+        );
+        // Like units survive.
+        assert_eq!(Unit::Bits.combine_linear(Unit::Bits), Ok(Unit::Bits));
+        // Counts shift an index without changing its space.
+        assert_eq!(Unit::Count.combine_linear(Unit::Bits), Ok(Unit::Bits));
+        // Distinct concrete units are the bug R002 hunts.
+        assert_eq!(
+            Unit::Nybbles.combine_linear(Unit::Bits),
+            Err((Unit::Nybbles, Unit::Bits))
+        );
+    }
+
+    #[test]
+    fn join_degrades_to_opaque() {
+        assert_eq!(Unit::Bits.join(Unit::Bits), Unit::Bits);
+        assert_eq!(Unit::Bits.join(Unit::Nybbles), Unit::Opaque);
+    }
+
+    #[test]
+    fn annotations_match_by_suffix() {
+        let cfg = Config::parse(
+            r#"
+[rules.R002]
+bits_params = ["Addr::mask::len", "densify::p"]
+nybble_params = ["Addr::nybble::i"]
+"#,
+        )
+        .expect("config parses");
+        let ann = Annotations::from_config(&cfg);
+        assert_eq!(
+            ann.param_unit(Some("Addr"), "mask", "len"),
+            Some(Unit::Bits)
+        );
+        // Wrong receiver type: no match.
+        assert_eq!(ann.param_unit(Some("Prefix"), "mask", "len"), None);
+        // Free-function pattern matches regardless of receiver.
+        assert_eq!(ann.param_unit(None, "densify", "p"), Some(Unit::Bits));
+        assert_eq!(ann.any_for_name("nybble", "i"), Some(Unit::Nybbles));
+        assert_eq!(ann.any_for_name("nybble", "x"), None);
+    }
+}

@@ -64,7 +64,7 @@ fn assert_ok(name: &str) {
     let loud: Vec<_> = report
         .diagnostics
         .iter()
-        .filter(|d| !d.suppressed)
+        .filter(|d| !d.suppressed && d.discharged_by.is_none())
         .collect();
     assert!(
         loud.is_empty(),
@@ -197,6 +197,125 @@ fn reach_fixture_prints_the_call_chain() {
     assert_eq!(report.exit_code(), 1, "a reachable panic fails the run");
 }
 
+// ------------------------------------------------------ R002 dataflow
+
+/// The acceptance fixture: an out-of-range shift reachable from an
+/// entry point must fail the run with a witness trace naming the
+/// originating range and the sink.
+#[test]
+fn r002_bad_fixture_fails_with_witness_trace() {
+    let report = lint_fixture("r002_bad.rs");
+    let r002 = hits(&report, "R002");
+    assert_eq!(r002.len(), 1, "{:?}", report.diagnostics);
+    let d = r002.first().expect("one R002 finding");
+    assert_eq!(d.rel, "r002_bad.rs");
+    assert!(
+        d.message.contains("cannot prove `<<` amount"),
+        "message names the sink: {}",
+        d.message
+    );
+    let chain = d.chain.as_deref().expect("witness chain");
+    assert!(
+        chain.contains("parameter `n` of `scatter`"),
+        "chain names the originating range: {chain}"
+    );
+    assert_eq!(
+        report.exit_code(),
+        1,
+        "a seeded out-of-range shift fails the run"
+    );
+}
+
+/// Masked, guard-refined, and loop-bounded shifts are all proven; the
+/// proofs also discharge L006's syntactic findings on those lines.
+#[test]
+fn r002_ok_fixture_is_proven_clean() {
+    assert_ok("r002_ok.rs");
+    let report = lint_fixture("r002_ok.rs");
+    assert!(hits(&report, "R002").is_empty(), "{:?}", report.diagnostics);
+    assert!(
+        report.discharged_count() >= 3,
+        "each proven shift discharges its L006 finding, got {}",
+        report.discharged_count()
+    );
+}
+
+/// Dataflow-proven sites keep their syntactic findings in the JSON
+/// output, marked `"discharged_by": "R002"` — auditable, not hidden.
+#[test]
+fn discharged_findings_are_visible_in_json() {
+    let report = lint_fixture("r002_ok.rs");
+    let json = report.render_json();
+    assert!(
+        json.contains("\"discharged_by\": \"R002\""),
+        "JSON carries the discharge note:\n{json}"
+    );
+    assert!(
+        json.contains("\"discharged\": "),
+        "summary counts discharges:\n{json}"
+    );
+}
+
+/// The three-file interprocedural fixture: `r002_entry::main` drives
+/// `r002_mid::relay` with a `0..100` loop index, `relay` forwards to
+/// the private `sink`, and the shift there cannot be proven — the
+/// witness chain must name every hop back to the originating loop.
+#[test]
+fn r002_interprocedural_witness_names_every_hop() {
+    let dir = fixtures_dir();
+    let report = lint_files(
+        &dir,
+        &[dir.join("r002_entry.rs"), dir.join("r002_mid.rs")],
+        &Config::default(),
+        &SeverityMap::default(),
+    )
+    .expect("fixture lints");
+    let r002 = hits(&report, "R002");
+    assert_eq!(r002.len(), 1, "{:?}", report.diagnostics);
+    let d = r002.first().expect("one R002 finding");
+    assert_eq!(d.rel, "r002_mid.rs", "the finding sits on the sink");
+    let chain = d.chain.as_deref().expect("witness chain");
+    assert!(
+        chain.contains("loop at r002_entry.rs"),
+        "chain starts at the originating loop: {chain}"
+    );
+    assert!(
+        chain.contains("argument `k` of relay") && chain.contains("argument `s` of sink"),
+        "chain names both call hops: {chain}"
+    );
+    assert_eq!(report.exit_code(), 1);
+}
+
+/// Unit-domain enforcement: annotated bits and nybbles parameters must
+/// not meet in linear arithmetic without an explicit conversion.
+#[test]
+fn r002_unit_mixing_is_flagged() {
+    let dir = fixtures_dir();
+    let cfg = Config::parse(
+        "[rules.R002]\nbits_params = [\"blend::b\"]\nnybble_params = [\"blend::n\"]\n",
+    )
+    .expect("fixture config parses");
+    let report = lint_files(
+        &dir,
+        &[dir.join("r002_units.rs")],
+        &cfg,
+        &SeverityMap::default(),
+    )
+    .expect("fixture lints");
+    let mixes: Vec<_> = hits(&report, "R002")
+        .into_iter()
+        .filter(|d| d.message.contains("unit mismatch"))
+        .collect();
+    assert_eq!(mixes.len(), 1, "{:?}", report.diagnostics);
+    let d = mixes.first().expect("one unit-mix finding");
+    assert!(
+        d.message.contains("bit indices") || d.message.contains("bits"),
+        "{}",
+        d.message
+    );
+    assert_eq!(report.exit_code(), 1);
+}
+
 // ------------------------------------------------------------- pragmas
 
 #[test]
@@ -291,7 +410,7 @@ fn workspace_at_head_is_lint_clean() {
     let loud: Vec<String> = report
         .diagnostics
         .iter()
-        .filter(|d| !d.suppressed)
+        .filter(|d| !d.suppressed && d.discharged_by.is_none())
         .map(|d| format!("{}:{} {} {}", d.rel, d.line, d.rule, d.message))
         .collect();
     assert!(
@@ -303,5 +422,15 @@ fn workspace_at_head_is_lint_clean() {
     assert!(
         report.files_scanned > 50,
         "discovery found the whole workspace"
+    );
+    // Reasoned pragmas are debt the dataflow is meant to retire, not
+    // accrue: the ceiling is the count at HEAD (2 — down from 6 before
+    // R002 discharged cast.rs's four L003 allowances). Raising it needs
+    // a reviewed justification here, not just a new pragma.
+    assert!(
+        report.suppressed_count() <= 2,
+        "reasoned-pragma total grew to {} (ceiling 2) — prove the site \
+         via R002 or justify raising the ceiling",
+        report.suppressed_count()
     );
 }

@@ -1,0 +1,11 @@
+//! R002 fixture: an out-of-range shift reachable from an entry point.
+//!
+//! `n` arrives unbounded from outside the analyzed set (`scatter` is
+//! `pub`, so its entry state is the declared-type top), and nothing on
+//! the path to the shift narrows it below 64 — the dataflow must fail
+//! the run with a witness trace naming the originating range and the
+//! shift sink.
+
+pub fn scatter(x: u64, n: u32) -> u64 {
+    x << n
+}

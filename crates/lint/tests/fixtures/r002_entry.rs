@@ -1,0 +1,13 @@
+//! R002 interprocedural fixture, hop 1 of 2: the entry point drives
+//! the relay with a loop index whose widened range crosses 64, two
+//! calls away from the shift that finally trips over it.
+
+use r002_mid::relay;
+
+pub fn main() -> u64 {
+    let mut acc = 0u64;
+    for i in 0..100u64 {
+        acc = acc.wrapping_add(relay(i));
+    }
+    acc
+}

@@ -1,0 +1,12 @@
+//! R002 interprocedural fixture, hop 2 of 2: a private relay forwards
+//! its argument to the private shift sink. Neither function narrows
+//! the value, so the entry's loop range must be carried through both
+//! observed-argument summaries into the witness chain.
+
+fn relay(k: u64) -> u64 {
+    sink(k)
+}
+
+fn sink(s: u64) -> u64 {
+    1u64 << s
+}

@@ -1,0 +1,27 @@
+//! R002 fixture: the same shift shapes, proven in range.
+//!
+//! Each sink is guarded the way the workspace crates guard theirs — a
+//! mask, a comparison refinement, or a bounded loop — so the dataflow
+//! proves every obligation and the run stays clean.
+
+/// Masked: `n & 63` is in `[0, 63]` whatever the caller passes.
+pub fn masked(x: u64, n: u32) -> u64 {
+    x << (n & 63)
+}
+
+/// Guarded: the early return refutes `n >= 64` on the fallthrough path.
+pub fn guarded(x: u64, n: u32) -> u64 {
+    if n >= 64 {
+        return 0;
+    }
+    x << n
+}
+
+/// Loop-bounded: the widened loop range still stays below the width.
+pub fn swept(x: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..64u32 {
+        acc |= x >> i;
+    }
+    acc
+}

@@ -1,0 +1,7 @@
+//! R002 unit-domain fixture: a bit index and a nybble index combined
+//! in linear arithmetic without an explicit conversion. The test's
+//! config annotates `blend::b` as bits and `blend::n` as nybbles.
+
+pub fn blend(b: u32, n: u32) -> u32 {
+    b + n
+}

@@ -419,7 +419,7 @@ impl RadixTree {
         if s >= n {
             // Minimal length at which s addresses meet density n/2^(128-p):
             //   s >= n * 2^(p - L)  <=>  L >= p - floor(log2(s / n))
-            let k_max = 63 - (s / n).leading_zeros(); // floor(log2(s/n))
+            let k_max = 63u32.saturating_sub((s / n).leading_zeros()); // floor(log2(s/n)) for s/n >= 1
             let l_min = p.saturating_sub(checked_u8(u128::from(k_max)));
             let hi = node.prefix.len().min(127);
             if l_min <= hi {
