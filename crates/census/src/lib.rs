@@ -18,6 +18,11 @@
 //! * [`supervisor`] — supervised parallel execution of the analysis
 //!   pipeline: panic isolation, stage deadlines, trie node budgets, and
 //!   quality-annotated (degraded-mode) results under a run manifest.
+//! * [`snapshot`] — immutable published census snapshots: readers never
+//!   observe a half-ingested day, never block on ingest.
+//! * [`serve`] — the crash-safe, load-shedding census daemon behind
+//!   `v6census serve`: bounded HTTP/1.1 query surface, background
+//!   incremental ingest, crash-safe journal, graceful drain.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +33,8 @@ pub mod humane;
 pub mod ingest;
 pub mod plot;
 pub mod routing;
+pub mod serve;
+pub mod snapshot;
 pub mod stream;
 pub mod supervisor;
 pub mod svg;
@@ -35,6 +42,8 @@ pub mod tables;
 
 pub use ingest::{Census, DaySummary};
 pub use routing::RoutingTable;
+pub use serve::{DrainReport, MetricsReading, ServeConfig, ServeError, ServeHandle};
+pub use snapshot::{Snapshot, SnapshotCell};
 pub use stream::{IngestConfig, IngestError, IngestReport, StreamIngestor};
 pub use supervisor::{
     run_census, PipelineConfig, RunManifest, StageReport, SupervisedRun, SupervisorConfig,

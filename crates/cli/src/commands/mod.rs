@@ -8,6 +8,7 @@ mod dense;
 mod mra;
 mod profile;
 mod ptr;
+mod serve;
 mod stability;
 mod stable;
 mod synth;
@@ -20,6 +21,7 @@ pub use dense::dense;
 pub use mra::mra;
 pub use profile::profile;
 pub use ptr::ptr;
+pub use serve::{serve, serve_config_from_flags};
 pub use stability::{day_from_name, stability, DayFile};
 pub use stable::stable;
 pub use synth::synth;
@@ -63,6 +65,21 @@ COMMANDS
                           the report is byte-identical across reruns/--jobs
                         [--inject SPEC] analysis fault drill, e.g.
                           panic:densify/2001  hang:stability:60000  slow:ingest:50
+  serve                 crash-safe census daemon over day-log files:
+                        background incremental ingest, immutable published
+                        snapshots, HTTP/1.1 queries on /stable/<addr>,
+                        /classify/<prefix>, /stats, /healthz, /readyz
+                        --dir DIR (or positional; files named YYYY-MM-DD*)
+                        [--bind 127.0.0.1:0] prints `listening on ADDR`
+                        [--state DIR] crash-safe journal + checkpoints
+                        [--routing FILE] `prefix asn` lines for /classify
+                        [--max-connections 64] load-shed (503) past the cap
+                        [--header-deadline-ms 3000] [--max-request-bytes 8192]
+                        [--read-timeout-ms 2000] [--write-timeout-ms 2000]
+                        [--poll-ms 200] source rescan cadence
+                        [--drain-ms 5000] graceful-drain deadline
+                        [--run-for-ms MS] exit after MS (default: stdin EOF)
+                        [--n 3] [--class 8@/64] plus the census ingest flags
   targets               probe-target list from dense prefixes (§6.2.2)
                         [--class 2@/112] [--budget 10000] [--include-observed]
   ptr                   addresses -> ip6.arpa names [--reverse]
@@ -78,5 +95,9 @@ EXIT CODES
   2  usage error (unknown command, missing arguments)
   3  completed but degraded: some result is coarser or partial — a shard
      panicked twice, a stage hit its deadline, or a budget forced coarser
-     aggregation; the run manifest in the output names every casualty
+     aggregation; the run manifest in the output names every casualty.
+     For `serve`: the daemon ran and drained, but had to abandon
+     in-flight connections at the drain deadline (the summary says how
+     many). A serve that cannot even start (bad bind, unusable state
+     dir) exits 1; bad flags exit 2.
 ";

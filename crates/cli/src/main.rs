@@ -6,8 +6,8 @@
 
 use std::io::Read;
 use v6census_cli::commands::{
-    aggregate, census, classify, day_from_name, dense, mra, profile, ptr, stability, stable, synth,
-    targets, DayFile, USAGE,
+    aggregate, census, classify, day_from_name, dense, mra, profile, ptr, serve, stability, stable,
+    synth, targets, DayFile, USAGE,
 };
 use v6census_cli::{Flags, EXIT_DATA_ERROR, EXIT_DEGRADED, EXIT_USAGE};
 use v6census_core::quality::Quality;
@@ -20,8 +20,9 @@ fn main() {
     };
     let flags = Flags::parse(&args[1..]);
 
-    // Every subcommand yields (output, quality); only `census` can come
-    // back non-exact today, and that maps to EXIT_DEGRADED below.
+    // Every subcommand yields (output, quality); only `census` and
+    // `serve` can come back non-exact today, and that maps to
+    // EXIT_DEGRADED below.
     let exact = |s: String| (s, Quality::Exact);
     let result = match command {
         "classify" => classify(&read_stdin(), &flags).map(exact),
@@ -55,6 +56,7 @@ fn main() {
         }
         "profile" => profile(&read_stdin(), &flags).map(exact),
         "census" => census(&flags),
+        "serve" => serve(&flags),
         "synth" => synth(&flags).map(exact),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

@@ -44,9 +44,11 @@
 
 pub mod classify;
 pub mod quality;
+pub mod query;
 pub mod spatial;
 pub mod temporal;
 
 pub use classify::{ClassifiedAddr, TemporalClass};
 pub use quality::{Annotated, Quality};
+pub use query::{days_seen, members_in, prefix_profile, PrefixProfile};
 pub use temporal::{DailyObservations, Day, StabilityParams};

@@ -424,12 +424,16 @@ fn workspace_at_head_is_lint_clean() {
         "discovery found the whole workspace"
     );
     // Reasoned pragmas are debt the dataflow is meant to retire, not
-    // accrue: the ceiling is the count at HEAD (2 — down from 6 before
-    // R002 discharged cast.rs's four L003 allowances). Raising it needs
-    // a reviewed justification here, not just a new pragma.
+    // accrue: the ceiling is the count at HEAD (3 — the supervisor's
+    // L002 wall-clock allowance, faults.rs trip()'s R001 allowance, and
+    // serve.rs now()'s L002 allowance: the daemon needs one monotonic
+    // clock for socket/drain deadlines, funneled through a single
+    // helper that no snapshot, response body, or equivalence key ever
+    // reads). Raising it needs a reviewed justification here, not just
+    // a new pragma.
     assert!(
-        report.suppressed_count() <= 2,
-        "reasoned-pragma total grew to {} (ceiling 2) — prove the site \
+        report.suppressed_count() <= 3,
+        "reasoned-pragma total grew to {} (ceiling 3) — prove the site \
          via R002 or justify raising the ceiling",
         report.suppressed_count()
     );

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod archetype;
+pub mod chaos;
 pub mod faults;
 pub mod kinds;
 pub mod loggen;
@@ -36,6 +37,7 @@ pub mod rng;
 pub mod router;
 pub mod world;
 
+pub use chaos::{ChaosClient, ChaosKind, ChaosOutcome};
 pub use faults::{
     AnalysisFault, AnalysisFaultPlan, Fault, FaultInjector, FaultManifest, FaultSpec,
 };
