@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crashtest;
 pub mod experiments;
 pub mod figures;
 pub mod humane;

@@ -50,13 +50,14 @@ use v6census_addr::{Addr, Prefix};
 use v6census_core::query::{days_seen, prefix_profile};
 use v6census_core::spatial::DensityClass;
 use v6census_core::temporal::{Day, StabilityParams};
+use v6census_core::vfs::Vfs;
 
 use crate::ingest::{Census, DaySummary};
 use crate::routing::RoutingTable;
 use crate::snapshot::{Snapshot, SnapshotCell};
 use crate::stream::{
-    checkpoint_path, day_from_filename, load_checkpoint, FileOutcome, IngestConfig, IngestError,
-    StreamIngestor,
+    checkpoint_path, day_from_filename, load_checkpoint, sweep_stale_tmp, FileOutcome,
+    IngestConfig, IngestError, StreamIngestor,
 };
 
 /// The daemon's single monotonic clock read: header deadlines, drain
@@ -221,6 +222,8 @@ pub struct ServeMetrics {
     /// Startup recoveries: torn journal or unreadable checkpoints
     /// skipped (their days re-ingest from source).
     pub recovered_errors: AtomicU64,
+    /// Stale `*.tmp` files deleted by the startup sweep.
+    pub stale_tmp_removed: AtomicU64,
 }
 
 /// A plain-value reading of [`ServeMetrics`].
@@ -256,6 +259,8 @@ pub struct MetricsReading {
     pub resumed_days: u64,
     /// See [`ServeMetrics::recovered_errors`].
     pub recovered_errors: u64,
+    /// See [`ServeMetrics::stale_tmp_removed`].
+    pub stale_tmp_removed: u64,
 }
 
 impl ServeMetrics {
@@ -283,6 +288,7 @@ impl ServeMetrics {
             quarantined_files: g(&self.quarantined_files),
             resumed_days: g(&self.resumed_days),
             recovered_errors: g(&self.recovered_errors),
+            stale_tmp_removed: g(&self.stale_tmp_removed),
         }
     }
 }
@@ -296,31 +302,30 @@ pub fn journal_path(dir: &Path) -> PathBuf {
     dir.join("journal.v1")
 }
 
-/// Atomically rewrites the journal (temp file + rename) listing the
-/// committed days in order. A kill mid-write leaves the previous journal
-/// intact.
-pub fn write_journal(dir: &Path, days: &[Day]) -> io::Result<()> {
-    std::fs::create_dir_all(dir)?;
+/// Atomically and durably rewrites the journal (temp file + fsync +
+/// rename via [`Vfs::write_atomic`]) listing the committed days in
+/// order. A crash mid-write leaves the previous journal intact, and a
+/// completed write survives power loss.
+pub fn write_journal(fs: &dyn Vfs, dir: &Path, days: &[Day]) -> io::Result<()> {
+    fs.create_dir_all(dir)?;
     let mut text = String::from("# v6census serve journal v1\n");
     for day in days {
         text.push_str(&day.to_string());
         text.push('\n');
     }
     text.push_str(&format!("# end {}\n", days.len()));
-    let tmp = dir.join(".journal.tmp");
-    std::fs::write(&tmp, &text)?;
-    std::fs::rename(&tmp, journal_path(dir))
+    fs.write_atomic(&journal_path(dir), text.as_bytes())
 }
 
 /// Loads and validates a journal. A missing file is an empty journal; a
 /// torn or corrupt one is a typed error the caller recovers from by
 /// re-ingesting from source.
-pub fn load_journal(path: &Path) -> Result<Vec<Day>, IngestError> {
+pub fn load_journal(fs: &dyn Vfs, path: &Path) -> Result<Vec<Day>, IngestError> {
     let bad = |reason: String| IngestError::BadCheckpoint {
         path: path.to_path_buf(),
         reason,
     };
-    let text = match std::fs::read_to_string(path) {
+    let text = match fs.read_to_string(path) {
         Ok(t) => t,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
         Err(e) => {
@@ -359,37 +364,65 @@ pub fn load_journal(path: &Path) -> Result<Vec<Day>, IngestError> {
     }
 }
 
-/// Restores a census from the journal + checkpoints. Days whose
-/// checkpoint is missing or corrupt are skipped (and re-ingested from
-/// source later); a torn journal restores nothing. Returns the census,
-/// the cleanly restored days, and the number of recoveries performed.
-fn restore_state(state: &Path) -> (Census, Vec<Day>, u64, u64) {
-    let mut census = Census::new_empty();
-    let mut restored: Vec<Day> = Vec::new();
-    let mut recovered = 0u64;
-    let journal_days = match load_journal(&journal_path(state)) {
+/// What startup restoration accomplished, surfaced on `/healthz` and
+/// `/stats` so operators can watch recovery happen.
+pub(crate) struct RestoreOutcome {
+    pub(crate) census: Census,
+    /// Days restored cleanly from journal + checkpoints, in order.
+    pub(crate) restored: Vec<Day>,
+    /// `restored.len()`, as a metric.
+    pub(crate) resumed: u64,
+    /// Torn journal / unreadable checkpoints skipped (their days
+    /// re-ingest from source).
+    pub(crate) recovered: u64,
+    /// Stale `*.tmp` leftovers deleted by the startup sweep.
+    pub(crate) swept_tmp: u64,
+}
+
+impl Default for RestoreOutcome {
+    fn default() -> RestoreOutcome {
+        RestoreOutcome {
+            census: Census::new_empty(),
+            restored: Vec::new(),
+            resumed: 0,
+            recovered: 0,
+            swept_tmp: 0,
+        }
+    }
+}
+
+/// Restores a census from the journal + checkpoints. First sweeps and
+/// deletes stale `*.tmp` files an aborted atomic write left behind
+/// (counted, never silently orphaned). Days whose checkpoint is missing
+/// or corrupt are skipped (and re-ingested from source later); a torn
+/// journal restores nothing.
+pub(crate) fn restore_state(fs: &dyn Vfs, state: &Path) -> RestoreOutcome {
+    let mut out = RestoreOutcome::default();
+    out.swept_tmp = sweep_stale_tmp(fs, state).unwrap_or(0);
+    let journal_days = match load_journal(fs, &journal_path(state)) {
         Ok(days) => days,
         Err(_) => {
             // Torn/corrupt journal: recover by starting empty; source
             // re-ingest rebuilds, checkpoints make it cheap.
-            return (census, restored, 0, 1);
+            out.recovered = 1;
+            return out;
         }
     };
     for day in journal_days {
-        match load_checkpoint(&checkpoint_path(state, day)) {
+        match load_checkpoint(fs, &checkpoint_path(state, day)) {
             Ok((ckpt_day, entries)) if ckpt_day == day => {
                 let summary = DaySummary::from_entries(day, entries);
-                if census.try_ingest(summary).is_ok() {
-                    restored.push(day);
+                if out.census.try_ingest(summary).is_ok() {
+                    out.restored.push(day);
                 } else {
-                    recovered += 1;
+                    out.recovered += 1;
                 }
             }
-            _ => recovered += 1,
+            _ => out.recovered += 1,
         }
     }
-    let n = restored.len() as u64;
-    (census, restored, n, recovered)
+    out.resumed = out.restored.len() as u64;
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -405,6 +438,9 @@ struct Shared {
     ready: AtomicBool,
     open: AtomicUsize,
     routing: Option<RoutingTable>,
+    /// The generation restored from the journal at startup; 0 means a
+    /// cold start (nothing restored — fresh state or full recovery).
+    restored_generation: u64,
 }
 
 impl Shared {
@@ -499,17 +535,27 @@ impl ServeHandle {
 /// Starts the daemon: restores journal state, publishes the initial
 /// snapshot, binds the listener, and spawns the accept + ingest threads.
 pub fn spawn(mut cfg: ServeConfig) -> Result<ServeHandle, ServeError> {
-    let (census, restored_days, resumed, recovered) = match &cfg.state_dir {
-        None => (Census::new_empty(), Vec::new(), 0, 0),
+    let restore = match &cfg.state_dir {
+        None => RestoreOutcome::default(),
         Some(state) => {
-            std::fs::create_dir_all(state).map_err(|e| ServeError::State {
-                path: state.clone(),
-                detail: e.to_string(),
-            })?;
+            cfg.ingest
+                .vfs
+                .create_dir_all(state)
+                .map_err(|e| ServeError::State {
+                    path: state.clone(),
+                    detail: e.to_string(),
+                })?;
             cfg.ingest.checkpoint_dir = Some(state.clone());
-            restore_state(state)
+            restore_state(cfg.ingest.vfs.as_ref(), state)
         }
     };
+    let RestoreOutcome {
+        census,
+        restored: restored_days,
+        resumed,
+        recovered,
+        swept_tmp,
+    } = restore;
     let routing = if cfg.routing.is_empty() {
         None
     } else {
@@ -548,6 +594,7 @@ pub fn spawn(mut cfg: ServeConfig) -> Result<ServeHandle, ServeError> {
         ready: AtomicBool::new(ready_now),
         open: AtomicUsize::new(0),
         routing,
+        restored_generation: resumed,
     });
     shared
         .metrics
@@ -557,6 +604,13 @@ pub fn spawn(mut cfg: ServeConfig) -> Result<ServeHandle, ServeError> {
         .metrics
         .recovered_errors
         .store(recovered, Ordering::Relaxed);
+    shared
+        .metrics
+        .stale_tmp_removed
+        .store(swept_tmp, Ordering::Relaxed);
+    if swept_tmp > 0 {
+        shared.log(&format!("startup sweep removed {swept_tmp} stale tmp file(s)"));
+    }
 
     let accept_shared = Arc::clone(&shared);
     let accept = std::thread::Builder::new()
@@ -893,12 +947,14 @@ fn route(shared: &Arc<Shared>, target: &str) -> (u16, &'static str, String) {
         "/healthz" => {
             let m = shared.metrics.read();
             let body = format!(
-                "{{\"status\":\"ok\",\"generation\":{gen},\"days\":{days},\"open\":{},\"draining\":{},\"resumed\":{},\"served\":{},\"shed\":{}}}\n",
+                "{{\"status\":\"ok\",\"generation\":{gen},\"days\":{days},\"open\":{},\"draining\":{},\"resumed\":{},\"served\":{},\"shed\":{},\"quarantined\":{},{}}}\n",
                 shared.open.load(Ordering::Acquire),
                 shared.draining.load(Ordering::Acquire),
                 m.resumed_days,
                 m.served,
                 m.shed,
+                m.quarantined_files,
+                restore_json(shared, &m),
             );
             (200, "OK", body)
         }
@@ -919,7 +975,7 @@ fn route(shared: &Arc<Shared>, target: &str) -> (u16, &'static str, String) {
                 )
             }
         }
-        "/stats" => (200, "OK", stats_body(&snapshot)),
+        "/stats" => (200, "OK", stats_body(shared, &snapshot)),
         _ => {
             if let Some(raw) = target.strip_prefix("/stable/") {
                 return stable_route(shared, &snapshot, raw);
@@ -937,7 +993,20 @@ fn route(shared: &Arc<Shared>, target: &str) -> (u16, &'static str, String) {
     }
 }
 
-fn stats_body(snapshot: &Snapshot) -> String {
+/// The last-restore outcome as a JSON fragment (no surrounding braces):
+/// whether this process cold-started or resumed a journaled generation,
+/// plus what recovery had to do to get there.
+fn restore_json(shared: &Arc<Shared>, m: &MetricsReading) -> String {
+    format!(
+        "\"restore\":{{\"restored_generation\":{},\"cold_start\":{},\"recovered\":{},\"stale_tmp_removed\":{}}}",
+        shared.restored_generation,
+        shared.restored_generation == 0,
+        m.recovered_errors,
+        m.stale_tmp_removed,
+    )
+}
+
+fn stats_body(shared: &Arc<Shared>, snapshot: &Snapshot) -> String {
     let gen = snapshot.generation;
     let days = snapshot.days();
     let reference = match snapshot.reference {
@@ -961,11 +1030,14 @@ fn stats_body(snapshot: &Snapshot) -> String {
             )
         })
         .collect();
+    let m = shared.metrics.read();
     format!(
-        "{{\"generation\":{gen},\"days\":{days},\"reference\":{reference},\"params\":\"{}\",\"active\":{},\"stable\":{},\"schemes\":{{{}}},\"daily\":[{}]}}\n",
+        "{{\"generation\":{gen},\"days\":{days},\"reference\":{reference},\"params\":\"{}\",\"active\":{},\"stable\":{},\"quarantined\":{},{},\"schemes\":{{{}}},\"daily\":[{}]}}\n",
         snapshot.params.label(),
         snapshot.active.len(),
         snapshot.stable.len(),
+        m.quarantined_files,
+        restore_json(shared, &m),
         schemes.join(","),
         daily.join(","),
     )
@@ -1068,7 +1140,11 @@ fn ingest_loop(shared: &Arc<Shared>, mut census: Census, mut committed: Vec<Day>
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let mut pending = scan_source(&shared.cfg.source_dir, &census);
+        let mut pending = scan_source(
+            shared.cfg.ingest.vfs.as_ref(),
+            &shared.cfg.source_dir,
+            &census,
+        );
         pending.retain(|(_, path)| failures.get(path).copied().unwrap_or(0) <= max_retries);
         let mut backoff_after_error = false;
         for (day, path) in pending {
@@ -1079,7 +1155,9 @@ fn ingest_loop(shared: &Arc<Shared>, mut census: Census, mut committed: Vec<Day>
                 Ok(true) => {
                     failures.remove(&path);
                     if let Some(state) = &shared.cfg.state_dir {
-                        if let Err(e) = write_journal(state, &committed) {
+                        if let Err(e) =
+                            write_journal(shared.cfg.ingest.vfs.as_ref(), state, &committed)
+                        {
                             shared.log(&format!("journal write failed: {e}"));
                         }
                     }
@@ -1140,16 +1218,19 @@ fn ingest_loop(shared: &Arc<Shared>, mut census: Census, mut committed: Vec<Day>
 }
 
 /// Day files in the source dir not yet in the census, ascending by day.
-fn scan_source(dir: &Path, census: &Census) -> Vec<(Day, PathBuf)> {
+fn scan_source(fs: &dyn Vfs, dir: &Path, census: &Census) -> Vec<(Day, PathBuf)> {
     let mut out: Vec<(Day, PathBuf)> = Vec::new();
-    let Ok(entries) = std::fs::read_dir(dir) else {
+    let Ok(entries) = fs.read_dir(dir) else {
         return out;
     };
-    for entry in entries.flatten() {
-        let name = entry.file_name();
-        if let Some(day) = day_from_filename(&name.to_string_lossy()) {
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if let Some(day) = day_from_filename(&name) {
             if !census.has_day(day) {
-                out.push((day, entry.path()));
+                out.push((day, path));
             }
         }
     }
@@ -1185,14 +1266,16 @@ mod tests {
         dir
     }
 
+    use v6census_core::vfs::RealFs;
+
     #[test]
     fn journal_round_trips() {
         let dir = tempdir("journal");
         let d0 = Day::from_ymd(2015, 3, 17);
-        assert_eq!(load_journal(&journal_path(&dir)).unwrap(), Vec::new());
-        write_journal(&dir, &[d0, d0 + 1, d0 + 2]).unwrap();
+        assert_eq!(load_journal(&RealFs, &journal_path(&dir)).unwrap(), Vec::new());
+        write_journal(&RealFs, &dir, &[d0, d0 + 1, d0 + 2]).unwrap();
         assert_eq!(
-            load_journal(&journal_path(&dir)).unwrap(),
+            load_journal(&RealFs, &journal_path(&dir)).unwrap(),
             vec![d0, d0 + 1, d0 + 2]
         );
         let _ = std::fs::remove_dir_all(&dir);
@@ -1208,7 +1291,7 @@ mod tests {
             "# v6census serve journal v1\n2015-03-17\n",
         )
         .unwrap();
-        let err = load_journal(&journal_path(&dir)).unwrap_err();
+        let err = load_journal(&RealFs, &journal_path(&dir)).unwrap_err();
         assert_eq!(err.label(), "bad-checkpoint");
         // Count mismatch is also torn.
         std::fs::write(
@@ -1216,31 +1299,35 @@ mod tests {
             "# v6census serve journal v1\n2015-03-17\n# end 4\n",
         )
         .unwrap();
-        assert!(load_journal(&journal_path(&dir)).is_err());
+        assert!(load_journal(&RealFs, &journal_path(&dir)).is_err());
         // Garbage day line.
         std::fs::write(
             journal_path(&dir),
             "# v6census serve journal v1\nnot-a-day\n# end 1\n",
         )
         .unwrap();
-        assert!(load_journal(&journal_path(&dir)).is_err());
+        assert!(load_journal(&RealFs, &journal_path(&dir)).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn restore_skips_missing_checkpoints() {
+    fn restore_skips_missing_checkpoints_and_sweeps_tmp() {
         let dir = tempdir("restore");
         let d0 = Day::from_ymd(2015, 3, 17);
         let addr: Addr = "2001:db8::1".parse().unwrap();
-        crate::stream::write_checkpoint(&dir, d0, &[(addr, 3)]).unwrap();
-        // Journal claims two days; only one checkpoint exists.
-        write_journal(&dir, &[d0, d0 + 1]).unwrap();
-        let (census, restored, resumed, recovered) = restore_state(&dir);
-        assert_eq!(restored, vec![d0]);
-        assert_eq!(resumed, 1);
-        assert_eq!(recovered, 1);
-        assert!(census.has_day(d0));
-        assert!(!census.has_day(d0 + 1));
+        crate::stream::write_checkpoint(&RealFs, &dir, d0, &[(addr, 3)]).unwrap();
+        // Journal claims two days; only one checkpoint exists. An
+        // aborted atomic write also left a stale tmp file behind.
+        write_journal(&RealFs, &dir, &[d0, d0 + 1]).unwrap();
+        std::fs::write(dir.join(".ckpt-2015-03-18.tsv.tmp"), "torn").unwrap();
+        let out = restore_state(&RealFs, &dir);
+        assert_eq!(out.restored, vec![d0]);
+        assert_eq!(out.resumed, 1);
+        assert_eq!(out.recovered, 1);
+        assert_eq!(out.swept_tmp, 1);
+        assert!(!dir.join(".ckpt-2015-03-18.tsv.tmp").exists());
+        assert!(out.census.has_day(d0));
+        assert!(!out.census.has_day(d0 + 1));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

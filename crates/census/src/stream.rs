@@ -28,9 +28,11 @@ use std::fmt;
 use std::fmt::Write as _;
 use std::io::{self, BufRead};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 use v6census_addr::Addr;
 use v6census_core::temporal::Day;
+use v6census_core::vfs::{self, RealFs, Vfs};
 
 /// Everything that can go wrong while ingesting day logs.
 #[derive(Clone, Debug, PartialEq)]
@@ -262,6 +264,11 @@ pub struct IngestConfig {
     /// Stop after ingesting this many days (used by tests to simulate a
     /// mid-run kill).
     pub max_days: Option<usize>,
+    /// The filesystem every durability path goes through. Production
+    /// uses [`RealFs`]; tests and the `--fault-fs` debug flag substitute
+    /// a [`v6census_core::vfs::FaultFs`] or
+    /// [`v6census_core::vfs::MemFs`].
+    pub vfs: Arc<dyn Vfs>,
 }
 
 impl Default for IngestConfig {
@@ -275,6 +282,7 @@ impl Default for IngestConfig {
             checkpoint_dir: None,
             resume: false,
             max_days: None,
+            vfs: Arc::new(RealFs),
         }
     }
 }
@@ -372,6 +380,9 @@ pub struct IngestReport {
     /// Calendar days between the first and last ingested day that were
     /// never ingested ([`IngestError::MissingDay`] for each).
     pub gaps: Vec<Day>,
+    /// Stale `*.tmp` files deleted from the checkpoint directory before
+    /// ingestion (leftovers of an aborted atomic write).
+    pub stale_tmp_removed: u64,
 }
 
 impl IngestReport {
@@ -423,6 +434,9 @@ impl IngestReport {
         } else {
             let days: Vec<String> = self.gaps.iter().map(|d| d.to_string()).collect();
             let _ = writeln!(out, "gaps: {}", days.join(", "));
+        }
+        if self.stale_tmp_removed > 0 {
+            let _ = writeln!(out, "stale tmp files removed: {}", self.stale_tmp_removed);
         }
         let errors = self.errors();
         let _ = writeln!(out, "errors: {}", errors.len());
@@ -486,17 +500,19 @@ impl StreamIngestor {
     /// In lenient mode the `Err` arm is unreachable; in strict mode the
     /// first error aborts.
     pub fn ingest_dir(&self, dir: &Path) -> Result<IngestReport, IngestError> {
-        let entries = std::fs::read_dir(dir).map_err(|e| IngestError::Io {
+        let entries = self.cfg.vfs.read_dir(dir).map_err(|e| IngestError::Io {
             path: dir.to_path_buf(),
             kind: e.kind(),
             retries: 0,
             detail: e.to_string(),
         })?;
         let mut paths: Vec<(Day, PathBuf)> = Vec::new();
-        for entry in entries.flatten() {
-            let path = entry.path();
-            let name = entry.file_name();
-            if let Some(day) = day_from_filename(&name.to_string_lossy()) {
+        for path in entries {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if let Some(day) = day_from_filename(&name) {
                 paths.push((day, path));
             }
         }
@@ -511,6 +527,13 @@ impl StreamIngestor {
         let mut census = Census::new_empty();
         let mut files = Vec::new();
         let mut ingested_days: Vec<Day> = Vec::new();
+        // Sweep aborted-write leftovers before resume can see them. A
+        // failed sweep is not fatal — the stale files simply survive
+        // until the next run.
+        let stale_tmp_removed = match &self.cfg.checkpoint_dir {
+            Some(dir) => sweep_stale_tmp(self.cfg.vfs.as_ref(), dir).unwrap_or(0),
+            None => 0,
+        };
         for path in paths {
             if self
                 .cfg
@@ -548,6 +571,7 @@ impl StreamIngestor {
             census,
             files,
             gaps,
+            stale_tmp_removed,
         })
     }
 
@@ -600,8 +624,8 @@ impl StreamIngestor {
         if self.cfg.resume {
             if let Some(dir) = &self.cfg.checkpoint_dir {
                 let ckpt = checkpoint_path(dir, file_day);
-                if ckpt.exists() {
-                    match load_checkpoint(&ckpt) {
+                if self.cfg.vfs.exists(&ckpt) {
+                    match load_checkpoint(self.cfg.vfs.as_ref(), &ckpt) {
                         Ok((day, entries)) => {
                             report.data_lines = entries.len();
                             report.outcome = FileOutcome::FromCheckpoint;
@@ -743,7 +767,7 @@ impl StreamIngestor {
         let committed = self.commit(summary, &path, census, ingested_days, &mut report)?;
         if committed {
             if let (Some(entries), Some(dir)) = (&checkpoint_entries, &self.cfg.checkpoint_dir) {
-                if let Err(e) = write_checkpoint(dir, day, entries) {
+                if let Err(e) = write_checkpoint(self.cfg.vfs.as_ref(), dir, day, entries) {
                     let err = IngestError::Io {
                         path: checkpoint_path(dir, day),
                         kind: e.kind(),
@@ -836,7 +860,7 @@ impl StreamIngestor {
     /// Reads one file line-by-line (bounded memory: one line buffered at
     /// a time) and parses header, data lines, and trailer.
     fn read_and_parse(&self, path: &Path) -> io::Result<FileParse> {
-        let file = std::fs::File::open(path)?;
+        let file = self.cfg.vfs.open_read(path)?;
         let mut reader = io::BufReader::new(file);
         let mut parse = FileParse {
             header_day: None,
@@ -930,28 +954,57 @@ pub fn checkpoint_path(dir: &Path, day: Day) -> PathBuf {
     dir.join(format!("ckpt-{day}.tsv"))
 }
 
-/// Writes a per-day checkpoint atomically (temp file + rename), so a
-/// kill mid-write leaves either no checkpoint or a complete one.
-pub fn write_checkpoint(dir: &Path, day: Day, entries: &[(Addr, u64)]) -> io::Result<()> {
-    std::fs::create_dir_all(dir)?;
+/// Writes a per-day checkpoint atomically *and durably* (temp file +
+/// fsync + rename via [`Vfs::write_atomic`]), so a crash mid-write
+/// leaves either no checkpoint or a complete one — and a completed
+/// write survives power loss, per the DESIGN.md persistence model.
+pub fn write_checkpoint(
+    fs: &dyn Vfs,
+    dir: &Path,
+    day: Day,
+    entries: &[(Addr, u64)],
+) -> io::Result<()> {
+    fs.create_dir_all(dir)?;
     let hits: u64 = entries.iter().map(|&(_, h)| h).sum();
     let mut text = format!("# v6census checkpoint v1 {day} {} {hits}\n", entries.len());
     for (addr, h) in entries {
         let _ = writeln!(text, "{addr}\t{h}");
     }
     text.push_str("# end\n");
-    let tmp = dir.join(format!(".ckpt-{day}.tmp"));
-    std::fs::write(&tmp, &text)?;
-    std::fs::rename(&tmp, checkpoint_path(dir, day))
+    fs.write_atomic(&checkpoint_path(dir, day), text.as_bytes())
+}
+
+/// Deletes stale `.{name}.tmp` leftovers an aborted atomic write can
+/// leave under `dir`, returning how many were removed. A missing
+/// directory is not an error (cold start). Finished artifacts are never
+/// touched: only names matching [`vfs::is_stale_tmp`] qualify.
+pub fn sweep_stale_tmp(fs: &dyn Vfs, dir: &Path) -> io::Result<u64> {
+    let entries = match fs.read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let mut removed = 0u64;
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if vfs::is_stale_tmp(&name) {
+            fs.remove_file(&path)?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
 }
 
 /// Loads and validates a checkpoint written by [`write_checkpoint`].
-pub fn load_checkpoint(path: &Path) -> Result<(Day, Vec<(Addr, u64)>), IngestError> {
+pub fn load_checkpoint(fs: &dyn Vfs, path: &Path) -> Result<(Day, Vec<(Addr, u64)>), IngestError> {
     let bad = |reason: String| IngestError::BadCheckpoint {
         path: path.to_path_buf(),
         reason,
     };
-    let text = std::fs::read_to_string(path).map_err(|e| IngestError::Io {
+    let text = fs.read_to_string(path).map_err(|e| IngestError::Io {
         path: path.to_path_buf(),
         kind: e.kind(),
         retries: 0,
@@ -1106,16 +1159,35 @@ mod tests {
             ("2001:db8::1".parse().unwrap(), 3),
             ("2001:db8::2".parse().unwrap(), 9),
         ];
-        write_checkpoint(&dir, day, &entries).unwrap();
-        let (d, back) = load_checkpoint(&checkpoint_path(&dir, day)).unwrap();
+        write_checkpoint(&RealFs, &dir, day, &entries).unwrap();
+        let (d, back) = load_checkpoint(&RealFs, &checkpoint_path(&dir, day)).unwrap();
         assert_eq!(d, day);
         assert_eq!(back, entries);
         // Tampering is detected.
         let path = checkpoint_path(&dir, day);
         let text = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, text.replace("# end\n", "")).unwrap();
-        let e = load_checkpoint(&path).unwrap_err();
+        let e = load_checkpoint(&RealFs, &path).unwrap_err();
         assert_eq!(e.label(), "bad-checkpoint");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_sweep_removes_only_aborted_artifacts() {
+        let dir =
+            std::env::temp_dir().join(format!("v6census-sweep-{}-{}", std::process::id(), line!()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let day = Day::from_ymd(2015, 3, 17);
+        write_checkpoint(&RealFs, &dir, day, &[("2001:db8::1".parse().unwrap(), 1)]).unwrap();
+        std::fs::write(dir.join(".ckpt-2015-03-18.tsv.tmp"), "torn").unwrap();
+        std::fs::write(dir.join(".journal.v1.tmp"), "torn").unwrap();
+        assert_eq!(sweep_stale_tmp(&RealFs, &dir).unwrap(), 2);
+        assert!(checkpoint_path(&dir, day).exists(), "real artifact kept");
+        assert!(!dir.join(".journal.v1.tmp").exists());
+        // Idempotent; missing directory is a no-op, not an error.
+        assert_eq!(sweep_stale_tmp(&RealFs, &dir).unwrap(), 0);
+        assert_eq!(sweep_stale_tmp(&RealFs, &dir.join("nope")).unwrap(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -757,18 +757,21 @@ impl SupervisedRun {
 
 /// Lists the day files under `dir` exactly as sequential
 /// [`StreamIngestor::ingest_dir`] would: day-named files, sorted by day.
-fn day_files(dir: &Path) -> Result<Vec<(Day, PathBuf)>, IngestError> {
-    let entries = std::fs::read_dir(dir).map_err(|e| IngestError::Io {
+fn day_files(fs: &dyn v6census_core::vfs::Vfs, dir: &Path) -> Result<Vec<(Day, PathBuf)>, IngestError> {
+    let entries = fs.read_dir(dir).map_err(|e| IngestError::Io {
         path: dir.to_path_buf(),
         kind: e.kind(),
         retries: 0,
         detail: e.to_string(),
     })?;
     let mut paths: Vec<(Day, PathBuf)> = Vec::new();
-    for entry in entries.flatten() {
-        let name = entry.file_name();
-        if let Some(day) = crate::stream::day_from_filename(&name.to_string_lossy()) {
-            paths.push((day, entry.path()));
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if let Some(day) = crate::stream::day_from_filename(&name) {
+            paths.push((day, path));
         }
     }
     paths.sort();
@@ -783,7 +786,16 @@ fn day_files(dir: &Path) -> Result<Vec<(Day, PathBuf)>, IngestError> {
 /// directory; every contained failure is reported through the manifest.
 pub fn run_census(dir: &Path, cfg: &PipelineConfig) -> Result<SupervisedRun, IngestError> {
     let ingestor = StreamIngestor::new(cfg.ingest.clone());
-    let paths = day_files(dir)?;
+    // A checkpoint directory may hold `.tmp` leftovers from a previous
+    // aborted atomic write; delete them before resume can see them. A
+    // failed sweep is not fatal — stale files survive to the next run.
+    let stale_tmp_removed = match &cfg.ingest.checkpoint_dir {
+        Some(ckpt_dir) => {
+            crate::stream::sweep_stale_tmp(cfg.ingest.vfs.as_ref(), ckpt_dir).unwrap_or(0)
+        }
+        None => 0,
+    };
+    let paths = day_files(cfg.ingest.vfs.as_ref(), dir)?;
 
     // Stage 1: ingest. One unit per day file; the parse half runs in
     // parallel, the census commit is serial in day order below.
@@ -853,6 +865,7 @@ pub fn run_census(dir: &Path, cfg: &PipelineConfig) -> Result<SupervisedRun, Ing
         census,
         files,
         gaps,
+        stale_tmp_removed,
     };
     let ingest_quality = ingest_stage.quality();
 
@@ -978,6 +991,7 @@ pub fn run_census(dir: &Path, cfg: &PipelineConfig) -> Result<SupervisedRun, Ing
         census,
         files: report.files,
         gaps: report.gaps,
+        stale_tmp_removed: report.stale_tmp_removed,
     };
 
     Ok(SupervisedRun {

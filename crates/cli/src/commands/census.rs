@@ -22,7 +22,9 @@
 use crate::{err, CliError, Flags};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
+use v6census_core::vfs::{FaultFs, FaultPlan};
 use v6census_census::stream::{DuplicatePolicy, ErrorMode, FileOutcome};
 use v6census_census::supervisor::{run_census, PipelineConfig, SupervisedRun, SupervisorConfig};
 use v6census_census::IngestConfig;
@@ -70,6 +72,27 @@ pub fn config_from_flags(flags: &Flags) -> Result<IngestConfig, CliError> {
         Some(_) => Some(flags.get_parsed("max-days", 0usize)?),
     };
     Ok(cfg)
+}
+
+/// Parses the `--fault-fs PLAN` debug flag and, when present, wraps the
+/// ingest filesystem in the deterministic fault injector (see
+/// [`FaultPlan`] for the plan syntax). Returns the injector handle so
+/// the command can report how many faults actually fired. Shared by
+/// `census` and `serve`.
+pub fn install_fault_fs(
+    flags: &Flags,
+    cfg: &mut IngestConfig,
+) -> Result<Option<Arc<FaultFs>>, CliError> {
+    match flags.get("fault-fs") {
+        None => Ok(None),
+        Some(spec) => {
+            let plan = FaultPlan::parse(spec)
+                .map_err(|e| err(format!("bad --fault-fs plan: {e}")))?;
+            let fault = Arc::new(FaultFs::new(Arc::clone(&cfg.vfs), plan));
+            cfg.vfs = fault.clone();
+            Ok(Some(fault))
+        }
+    }
 }
 
 /// Builds the [`SupervisorConfig`] from flags (shared with tests).
@@ -135,11 +158,17 @@ pub fn census(flags: &Flags) -> Result<(String, Quality), CliError> {
         dense_n: class.n,
         dense_p: class.p,
     };
+    let mut cfg = cfg;
+    let fault = install_fault_fs(flags, &mut cfg.ingest)?;
     let run = run_census(std::path::Path::new(&dir), &cfg)
         .map_err(|e| err(format!("ingest failed: {e}")))?;
     let quality = run.overall_quality();
     let timings = !flags.has("no-timings");
-    Ok((render(&run, &params, &class, timings), quality))
+    let mut out = render(&run, &params, &class, timings);
+    if let Some(fault) = fault {
+        let _ = writeln!(out, "fault injections: {}", fault.injected());
+    }
+    Ok((out, quality))
 }
 
 /// Renders the three-section report. Split from [`census`] so tests can
@@ -287,6 +316,18 @@ mod tests {
 
     fn flags(args: &[&str]) -> Flags {
         Flags::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn fault_fs_flag() {
+        let mut cfg = config_from_flags(&flags(&[])).unwrap();
+        assert!(install_fault_fs(&flags(&[]), &mut cfg).unwrap().is_none());
+        let fault = install_fault_fs(&flags(&["--fault-fs", "enospc@64:ckpt"]), &mut cfg)
+            .unwrap()
+            .expect("valid plan installs the injector");
+        assert_eq!(fault.injected(), 0);
+        assert!(format!("{:?}", cfg.vfs).contains("FaultFs"));
+        assert!(install_fault_fs(&flags(&["--fault-fs", "zap"]), &mut cfg).is_err());
     }
 
     #[test]

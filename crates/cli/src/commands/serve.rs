@@ -101,7 +101,8 @@ fn parse_routing_file(path: &str) -> Result<Vec<(Prefix, u32)>, CliError> {
 /// Runs the daemon until `--run-for-ms` elapses or stdin closes, then
 /// drains and reports.
 pub fn serve(flags: &Flags) -> Result<(String, Quality), CliError> {
-    let cfg = serve_config_from_flags(flags)?;
+    let mut cfg = serve_config_from_flags(flags)?;
+    let fault = super::census::install_fault_fs(flags, &mut cfg.ingest)?;
     let handle = spawn(cfg).map_err(|e| err(format!("serve failed to start: {e}")))?;
 
     // Announce the bound address immediately — callers discover the
@@ -137,7 +138,11 @@ pub fn serve(flags: &Flags) -> Result<(String, Quality), CliError> {
     } else {
         Quality::Degraded
     };
-    Ok((render(&report), quality))
+    let mut out = render(&report);
+    if let Some(fault) = fault {
+        out.push_str(&format!("fault injections: {}\n", fault.injected()));
+    }
+    Ok((out, quality))
 }
 
 /// The post-drain summary report.

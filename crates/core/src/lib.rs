@@ -47,8 +47,10 @@ pub mod quality;
 pub mod query;
 pub mod spatial;
 pub mod temporal;
+pub mod vfs;
 
 pub use classify::{ClassifiedAddr, TemporalClass};
 pub use quality::{Annotated, Quality};
 pub use query::{days_seen, members_in, prefix_profile, PrefixProfile};
 pub use temporal::{DailyObservations, Day, StabilityParams};
+pub use vfs::{FaultFs, FaultKind, FaultPlan, FaultRule, MemFs, RealFs, Vfs};

@@ -13,8 +13,11 @@ use crate::archetype::RawObs;
 use crate::kinds::TrueKind;
 use crate::rng::Entropy;
 use crate::world::{epochs, World};
+use std::io;
+use std::path::{Path, PathBuf};
 use v6census_addr::Addr;
 use v6census_core::temporal::Day;
+use v6census_core::vfs::Vfs;
 
 /// One aggregated log line: a client address, its hit count for the day,
 /// and (synthetic-only) the ground-truth kind.
@@ -82,6 +85,30 @@ const TEREDO_SERVERS: [u32; 8] = [
 ];
 
 impl World {
+    /// Emits `count` consecutive day logs starting at `first` as files
+    /// under `dir` (named `YYYY-MM-DD.log`), each written atomically
+    /// *and durably* through the given [`Vfs`] — synth's durability
+    /// path, shared by `v6census synth --out` and the crash-test
+    /// harness. Returns the written paths in day order.
+    pub fn emit_day_logs(
+        &self,
+        fs: &dyn Vfs,
+        dir: &Path,
+        first: Day,
+        count: u32,
+    ) -> io::Result<Vec<PathBuf>> {
+        fs.create_dir_all(dir)?;
+        let mut written = Vec::new();
+        let mut day = first;
+        for _ in 0..count {
+            let path = dir.join(crate::faults::day_file_name(day));
+            fs.write_atomic(&path, self.day_log(day).to_text().as_bytes())?;
+            written.push(path);
+            day = day + 1;
+        }
+        Ok(written)
+    }
+
     /// Generates the aggregated log for one day: all networks plus the
     /// transition-mechanism populations, aggregated by address.
     pub fn day_log(&self, day: Day) -> DayLog {
