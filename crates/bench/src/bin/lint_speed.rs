@@ -91,6 +91,20 @@ fn main() {
     flow_times.sort_by(|a, b| a.total_cmp(b));
     let (flow_min, flow_median) = (flow_times[0], flow_times[flow_times.len() / 2]);
 
+    // The R003/R004 concurrency pass in isolation, over the same
+    // shared inputs: lock registry, guard scopes, effect lattice, and
+    // the lock-order graph, timed separately like the dataflow above.
+    let mut lock_times: Vec<f64> = Vec::new();
+    let mut lock_stats = lint::locks::LockStats::default();
+    for _ in 0..samples {
+        let start = Instant::now();
+        let res = lint::locks::analyze(&ws, &cfg);
+        lock_times.push(start.elapsed().as_secs_f64() * 1e3);
+        lock_stats = res.stats;
+    }
+    lock_times.sort_by(|a, b| a.total_cmp(b));
+    let (lock_min, lock_median) = (lock_times[0], lock_times[lock_times.len() / 2]);
+
     println!(
         "lint_workspace  {files_scanned} files, {findings} findings ({suppressed} suppressed, {discharged} discharged)"
     );
@@ -102,6 +116,16 @@ fn main() {
         stats.fns_analyzed, stats.passes, stats.summaries, stats.proven, stats.obligations
     );
     println!("                min {flow_min:>8.2}ms   median {flow_median:>8.2}ms");
+    println!(
+        "locks (R003/4)  {} fns, {} locks, {} edges (acyclic: {}), {}/{} obligations proven",
+        lock_stats.fns_summarized,
+        lock_stats.locks_found,
+        lock_stats.lock_edges,
+        lock_stats.acyclic,
+        lock_stats.proven,
+        lock_stats.effect_obligations
+    );
+    println!("                min {lock_min:>8.2}ms   median {lock_median:>8.2}ms");
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"lint_speed\",");
@@ -121,6 +145,24 @@ fn main() {
     let _ = writeln!(json, "    \"proven\": {},", stats.proven);
     let _ = writeln!(json, "    \"wall_ms_min\": {flow_min:.3},");
     let _ = writeln!(json, "    \"wall_ms_median\": {flow_median:.3}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"locks\": {{");
+    let _ = writeln!(
+        json,
+        "    \"fns_summarized\": {},",
+        lock_stats.fns_summarized
+    );
+    let _ = writeln!(json, "    \"locks_found\": {},", lock_stats.locks_found);
+    let _ = writeln!(json, "    \"lock_edges\": {},", lock_stats.lock_edges);
+    let _ = writeln!(json, "    \"acyclic\": {},", lock_stats.acyclic);
+    let _ = writeln!(
+        json,
+        "    \"effect_obligations\": {},",
+        lock_stats.effect_obligations
+    );
+    let _ = writeln!(json, "    \"proven\": {},", lock_stats.proven);
+    let _ = writeln!(json, "    \"wall_ms_min\": {lock_min:.3},");
+    let _ = writeln!(json, "    \"wall_ms_median\": {lock_median:.3}");
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
     opts.emit("BENCH_lint.json", &json);

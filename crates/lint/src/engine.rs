@@ -120,8 +120,9 @@ pub fn lint_files(
     };
     for rule in semantic_registry() {
         // R002 runs below through `dataflow::analyze` directly so the
-        // proof sets are available for the L003/L006 discharge pass.
-        if rule.id() == "R002" {
+        // proof sets are available for the L003/L006 discharge pass;
+        // R003/R004 share one `locks::analyze` pass, also below.
+        if matches!(rule.id(), "R002" | "R003" | "R004") {
             continue;
         }
         let mut out = Vec::new();
@@ -135,6 +136,21 @@ pub fn lint_files(
     // syntactic L003/L006 findings after pragmas are applied.
     let flow = crate::dataflow::analyze(&ws, cfg);
     all.extend(flow.findings.iter().cloned());
+
+    // Layer 2c: the concurrency pass — one shared analysis feeding
+    // both R003 (lock-order acyclicity) and R004 (blocking-under-lock)
+    // so the guard scopes and call-graph lifting are computed once.
+    let conc = crate::locks::analyze(&ws, cfg);
+    all.extend(
+        conc.cycle_findings
+            .into_iter()
+            .filter(|d| cfg.rule_applies("R003", &d.rel)),
+    );
+    all.extend(
+        conc.blocking_findings
+            .into_iter()
+            .filter(|d| cfg.rule_applies("R004", &d.rel)),
+    );
 
     // Layer 3: pragma application and severity mapping, per file.
     let mut by_rel: BTreeMap<&str, Vec<Diagnostic>> = BTreeMap::new();

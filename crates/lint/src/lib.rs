@@ -2,13 +2,16 @@
 //!
 //! The workspace ships contracts that `rustc` and clippy cannot see:
 //! panic-free library paths, byte-for-byte deterministic product
-//! output, lossless bit/nybble casts, a typed error taxonomy, and a
-//! documented process exit-code mapping. This crate enforces them as
-//! lexical rules (`L001`–`L007`) over comment- and string-blanked
-//! source, two interprocedural proofs — `R001` panic-reachability
-//! over the [`callgraph`] and the `R002` bit-domain dataflow
-//! ([`dataflow`], an interval + unit abstract interpretation whose
-//! proofs discharge `L003`/`L006`'s syntactic findings) — and
+//! output, lossless bit/nybble casts, a typed error taxonomy, a
+//! documented process exit-code mapping, and a crash-consistent
+//! durability path. This crate enforces them as lexical rules
+//! (`L001`–`L008`) over comment- and string-blanked source, four
+//! interprocedural proofs — `R001` panic-reachability over the
+//! [`callgraph`], the `R002` bit-domain dataflow ([`dataflow`], an
+//! interval + unit abstract interpretation whose proofs discharge
+//! `L003`/`L006`'s syntactic findings), `R003` lock-order acyclicity
+//! and `R004` blocking-under-lock ([`locks`] + [`effects`], guard
+//! scopes and blocking effects lifted over the call graph) — and
 //! per-line `// lint: allow(<rule>, reason = "...")` suppression
 //! pragmas that are themselves machine-checked (`P000`, `P001`).
 //!
@@ -21,9 +24,11 @@
 pub mod callgraph;
 pub mod config;
 pub mod dataflow;
+pub mod effects;
 pub mod engine;
 pub mod intervals;
 pub mod lexer;
+pub mod locks;
 pub mod reach;
 pub mod report;
 pub mod rules;

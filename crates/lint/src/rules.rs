@@ -25,10 +25,18 @@
 //! |------|--------------------------|-----------------------------------------|
 //! | L007 | discarded-results        | `let _ =` / trailing `.ok();` must not  |
 //! |      |                          | swallow a workspace `Result`            |
+//! | L008 | vfs-bypass               | durability-scoped modules never mutate  |
+//! |      |                          | the real filesystem behind `core::vfs`  |
+//! |      |                          | (see [`crate::effects`])                |
 //! | R001 | panic-reachability       | no non-test call path from the          |
 //! |      |                          | configured entry points reaches a       |
 //! |      |                          | panicking construct (see               |
 //! |      |                          | [`crate::reach`])                       |
+//! | R003 | lock-order               | the interprocedural lock-acquisition    |
+//! |      |                          | graph is acyclic (see [`crate::locks`]) |
+//! | R004 | blocking-under-lock      | no path blocks (I/O, sleep, join, recv) |
+//! |      |                          | while a Mutex/RwLock guard is live      |
+//! |      |                          | (see [`crate::effects`])                |
 //!
 //! Every rule is scoped by path prefixes from `lint.toml` and can be
 //! suppressed per line (or per file) with
@@ -95,8 +103,11 @@ pub trait SemanticRule {
 pub fn semantic_registry() -> Vec<Box<dyn SemanticRule>> {
     vec![
         Box::new(DiscardedResults),
+        Box::new(crate::effects::VfsBypass),
         Box::new(crate::reach::PanicReach),
         Box::new(crate::dataflow::BitDomain),
+        Box::new(crate::locks::LockOrder),
+        Box::new(crate::effects::BlockingUnderLock),
     ]
 }
 

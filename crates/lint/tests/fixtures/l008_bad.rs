@@ -1,0 +1,22 @@
+//! L008 fixture: a durability-scoped module mutating the real
+//! filesystem behind the Vfs's back — a raw `std::fs::write`, a
+//! rename, and a direct `File::create`, none of which the crash-point
+//! explorer can fault-inject.
+
+use std::fs::File;
+use std::path::Path;
+
+/// Persists bytes with raw `std::fs` — bypasses the Vfs.
+pub fn persist(path: &Path, data: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, data)
+}
+
+/// Publishes via a raw rename — bypasses the Vfs journal protocol.
+pub fn publish(tmp: &Path, dst: &Path) -> std::io::Result<()> {
+    std::fs::rename(tmp, dst)
+}
+
+/// Opens a file for writing directly — bypasses the Vfs.
+pub fn open_sink(path: &Path) -> std::io::Result<File> {
+    File::create(path)
+}

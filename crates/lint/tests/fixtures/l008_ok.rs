@@ -1,0 +1,30 @@
+//! L008 fixture (clean): the durability-scoped module routes every
+//! mutation through an injected Vfs handle, so fault injection and
+//! crash-point exploration see all of them.
+
+use std::path::{Path, PathBuf};
+
+/// Typed error for the fixture's Vfs seam.
+pub struct VfsError;
+
+/// The filesystem seam a durability-scoped module writes through.
+pub trait Vfs {
+    /// Writes `data` at `path` through the journal protocol.
+    fn write(&self, path: &Path, data: &[u8]) -> Result<(), VfsError>;
+    /// Atomically renames `tmp` over `dst`.
+    fn rename(&self, tmp: &Path, dst: &Path) -> Result<(), VfsError>;
+}
+
+/// Persists bytes through the Vfs seam — crash-safe and in scope for
+/// fault injection.
+pub fn persist(vfs: &dyn Vfs, path: &Path, data: &[u8]) -> Result<(), VfsError> {
+    vfs.write(path, data)
+}
+
+/// Publishes tmp-then-rename through the Vfs seam.
+pub fn publish(vfs: &dyn Vfs, dir: &Path, data: &[u8]) -> Result<(), VfsError> {
+    let tmp: PathBuf = dir.join("snapshot.tmp");
+    let dst: PathBuf = dir.join("snapshot.bin");
+    vfs.write(&tmp, data)?;
+    vfs.rename(&tmp, &dst)
+}

@@ -1,0 +1,27 @@
+//! R004 fixture (clean): the same blocking effects as `r004_bad.rs`,
+//! but every guard is dropped — explicitly or by statement-temporary
+//! scope — before the thread blocks.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The lock the clean paths use.
+pub static STATE: Mutex<u32> = Mutex::new(0);
+
+/// Explicit `drop(g)` before sleeping — clean.
+pub fn drop_then_sleep() {
+    let g = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    drop(g);
+    std::thread::sleep(Duration::from_millis(1));
+}
+
+/// A temporary guard dies at its own statement's `;`, so the receive
+/// on the next line runs lock-free — clean.
+pub fn swap_then_recv(rx: &Receiver<u32>) -> u32 {
+    *STATE.lock().unwrap_or_else(|e| e.into_inner()) = 7;
+    match rx.recv() {
+        Ok(v) => v,
+        Err(_) => 0,
+    }
+}
