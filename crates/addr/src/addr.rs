@@ -88,6 +88,21 @@ impl Addr {
         checked_nybble(shr128(self.0, 124 - 4 * i) & 0xf)
     }
 
+    /// All 32 nybbles at once, most significant first — the batched form
+    /// of [`Addr::nybble`] for whole-address scans: one pass over the
+    /// big-endian bytes instead of 32 independent 128-bit shifts.
+    pub const fn nybbles(self) -> [u8; 32] {
+        let bytes = self.0.to_be_bytes();
+        let mut out = [0u8; 32];
+        let mut i = 0;
+        while i < 16 {
+            out[2 * i] = bytes[i] >> 4;
+            out[2 * i + 1] = bytes[i] & 0xf;
+            i += 1;
+        }
+        out
+    }
+
     /// Returns bit `i` (0..128) as 0 or 1; bit 0 is the most significant.
     ///
     /// # Panics
@@ -174,9 +189,9 @@ impl Addr {
     pub fn to_ip6_arpa(self) -> String {
         const HEX: &[u8; 16] = b"0123456789abcdef";
         let mut out = String::with_capacity(72);
-        for i in (0..32).rev() {
-            // nybble() returns 0..=15, so the table lookup is total.
-            out.push(char::from(HEX[usize::from(self.nybble(i)) & 0xf]));
+        for &n in self.nybbles().iter().rev() {
+            // nybbles() yields 0..=15, so the table lookup is total.
+            out.push(char::from(HEX[usize::from(n) & 0xf]));
             out.push('.');
         }
         out.push_str("ip6.arpa");
@@ -544,6 +559,22 @@ mod tests {
         assert_eq!(x.iid_bits(), 0x3031f3fdbbdd2c2a);
         // bit 0..3 spell 0x2 = 0b0010
         assert_eq!([x.bit(0), x.bit(1), x.bit(2), x.bit(3)], [0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn batched_nybbles_agree_with_single() {
+        for s in [
+            "2001:db8:4137:9e76:3031:f3fd:bbdd:2c2a",
+            "::",
+            "::1",
+            "ffff::ffff",
+        ] {
+            let x = a(s);
+            let batch = x.nybbles();
+            for (i, &n) in batch.iter().enumerate() {
+                assert_eq!(n, x.nybble(i), "{s} nybble {i}");
+            }
+        }
     }
 
     #[test]

@@ -7,8 +7,7 @@
 //! assignment, and apparent randomness typical of RFC 4941 privacy
 //! addresses.
 
-use crate::bits::shr64;
-use crate::cast::{checked_nybble, checked_u32, checked_u8};
+use crate::cast::{checked_u32, checked_u8};
 use crate::{Addr, Mac};
 
 /// A 64-bit interface identifier extracted from an address, with
@@ -78,6 +77,21 @@ impl Iid {
     pub const fn ones(self) -> u32 {
         self.0.count_ones()
     }
+
+    /// All 16 nybbles of the IID at once, most significant first — the
+    /// batched form used by the entropy estimator: one pass over the
+    /// big-endian bytes instead of 16 independent 64-bit shifts.
+    pub const fn nybbles(self) -> [u8; 16] {
+        let bytes = self.0.to_be_bytes();
+        let mut out = [0u8; 16];
+        let mut i = 0;
+        while i < 8 {
+            out[2 * i] = bytes[i] >> 4;
+            out[2 * i + 1] = bytes[i] & 0xf;
+            i += 1;
+        }
+        out
+    }
 }
 
 /// Extracts the IPv4 address that an *ad hoc* scheme may have embedded in
@@ -132,9 +146,8 @@ pub fn iid_entropy_bits(iid: Iid) -> f64 {
     let mut counts = [0u32; 16];
     let mut transitions = 0u32;
     let mut prev: Option<u8> = None;
-    for i in 0..16 {
-        let n = checked_nybble((shr64(iid.0, 60 - 4 * i) & 0xf) as u128);
-        counts[usize::from(n)] += 1;
+    for &n in &iid.nybbles() {
+        counts[usize::from(n) & 0xf] += 1;
         if let Some(p) = prev {
             if p != n {
                 // 15 transitions at most; saturation spells the policy.
@@ -223,5 +236,22 @@ mod tests {
             structured < random,
             "structured {structured} vs random {random}"
         );
+    }
+
+    #[test]
+    fn batched_nybbles_agree_with_shifts() {
+        for s in [
+            "2001:db8::3031:f3fd:bbdd:2c2a",
+            "::",
+            "::1",
+            "2001:db8::10:901",
+        ] {
+            let iid = Iid::of(a(s));
+            let batch = iid.nybbles();
+            for (i, &n) in batch.iter().enumerate() {
+                let want = (iid.0 >> (60 - 4 * i)) & 0xf;
+                assert_eq!(u64::from(n), want, "{s} nybble {i}");
+            }
+        }
     }
 }

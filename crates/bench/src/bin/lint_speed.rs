@@ -105,6 +105,20 @@ fn main() {
     lock_times.sort_by(|a, b| a.total_cmp(b));
     let (lock_min, lock_median) = (lock_times[0], lock_times[lock_times.len() / 2]);
 
+    // The R005/R006 allocation-effect pass in isolation, again over the
+    // same shared inputs: per-function allocation summaries, hot-loop
+    // obligations, and capacity-discipline proofs.
+    let mut alloc_times: Vec<f64> = Vec::new();
+    let mut alloc_stats = lint::allocs::AllocStats::default();
+    for _ in 0..samples {
+        let start = Instant::now();
+        let res = lint::allocs::analyze(&ws, &cfg);
+        alloc_times.push(start.elapsed().as_secs_f64() * 1e3);
+        alloc_stats = res.stats;
+    }
+    alloc_times.sort_by(|a, b| a.total_cmp(b));
+    let (alloc_min, alloc_median) = (alloc_times[0], alloc_times[alloc_times.len() / 2]);
+
     println!(
         "lint_workspace  {files_scanned} files, {findings} findings ({suppressed} suppressed, {discharged} discharged)"
     );
@@ -126,6 +140,20 @@ fn main() {
         lock_stats.effect_obligations
     );
     println!("                min {lock_min:>8.2}ms   median {lock_median:>8.2}ms");
+    println!(
+        "allocs (R005/6) {} fns ({} no-alloc, {} amortized, {} per-call), {} hot entries, {} loops, {}/{} loop + {}/{} capacity obligations proven",
+        alloc_stats.fns_summarized,
+        alloc_stats.no_alloc_fns,
+        alloc_stats.amortized_fns,
+        alloc_stats.per_call_fns,
+        alloc_stats.hot_entry_points,
+        alloc_stats.loops_scanned,
+        alloc_stats.hot_loop_proven,
+        alloc_stats.hot_loop_obligations,
+        alloc_stats.capacity_proven,
+        alloc_stats.capacity_obligations
+    );
+    println!("                min {alloc_min:>8.2}ms   median {alloc_median:>8.2}ms");
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"lint_speed\",");
@@ -163,6 +191,52 @@ fn main() {
     let _ = writeln!(json, "    \"proven\": {},", lock_stats.proven);
     let _ = writeln!(json, "    \"wall_ms_min\": {lock_min:.3},");
     let _ = writeln!(json, "    \"wall_ms_median\": {lock_median:.3}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"allocs\": {{");
+    let _ = writeln!(
+        json,
+        "    \"fns_summarized\": {},",
+        alloc_stats.fns_summarized
+    );
+    let _ = writeln!(json, "    \"no_alloc_fns\": {},", alloc_stats.no_alloc_fns);
+    let _ = writeln!(
+        json,
+        "    \"amortized_fns\": {},",
+        alloc_stats.amortized_fns
+    );
+    let _ = writeln!(json, "    \"per_call_fns\": {},", alloc_stats.per_call_fns);
+    let _ = writeln!(
+        json,
+        "    \"hot_entry_points\": {},",
+        alloc_stats.hot_entry_points
+    );
+    let _ = writeln!(
+        json,
+        "    \"loops_scanned\": {},",
+        alloc_stats.loops_scanned
+    );
+    let _ = writeln!(
+        json,
+        "    \"hot_loop_obligations\": {},",
+        alloc_stats.hot_loop_obligations
+    );
+    let _ = writeln!(
+        json,
+        "    \"hot_loop_proven\": {},",
+        alloc_stats.hot_loop_proven
+    );
+    let _ = writeln!(
+        json,
+        "    \"capacity_obligations\": {},",
+        alloc_stats.capacity_obligations
+    );
+    let _ = writeln!(
+        json,
+        "    \"capacity_proven\": {},",
+        alloc_stats.capacity_proven
+    );
+    let _ = writeln!(json, "    \"wall_ms_min\": {alloc_min:.3},");
+    let _ = writeln!(json, "    \"wall_ms_median\": {alloc_median:.3}");
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
     opts.emit("BENCH_lint.json", &json);

@@ -15,8 +15,24 @@ use v6census_census::supervisor::{run_census, PipelineConfig};
 use v6census_synth::world::epochs;
 use v6census_synth::{FaultInjector, FaultSpec};
 
+/// The `cpus` value recorded in an existing baseline JSON, if any —
+/// parsed textually so the guard needs no JSON dependency.
+fn baseline_cpus(json: &str) -> Option<usize> {
+    let rest = json.split("\"cpus\":").nth(1)?;
+    rest.trim_start()
+        .split(|c: char| !c.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()
+}
+
 fn main() {
-    let opts = Opts::parse();
+    // `--force` is ours, not `Opts`'s (whose parser aborts on unknown
+    // flags): strip it before delegating.
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let force = argv.iter().any(|a| a == "--force");
+    argv.retain(|a| a != "--force");
+    let opts = Opts::parse_from(argv);
     let world = opts.world();
     let reference = epochs::mar2015();
     let (first, last) = (reference - 7, reference + 7);
@@ -134,7 +150,38 @@ fn main() {
     }
     json.push_str("}\n");
     opts.emit("BENCH_supervisor.json", &json);
-    v6census_bench::write_baseline("BENCH_supervisor.json", &json);
+
+    // A baseline captured with real parallelism must not be silently
+    // clobbered by a run on a 1-CPU box, where every jobs>1 point is
+    // CPU-starved and the speedup column is meaningless. `--force`
+    // overrides for deliberate downgrades.
+    let prior_cpus =
+        std::fs::read_to_string(v6census_bench::baseline_path("BENCH_supervisor.json"))
+            .ok()
+            .as_deref()
+            .and_then(baseline_cpus);
+    match prior_cpus {
+        Some(prior) if prior > 1 && cpus == 1 && !force => {
+            eprintln!(
+                "[supervisor_scaling] baseline kept: existing point was measured on \
+                 {prior} cpus, this run had 1; pass --force to overwrite anyway"
+            );
+        }
+        _ => v6census_bench::write_baseline("BENCH_supervisor.json", &json),
+    }
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::baseline_cpus;
+
+    #[test]
+    fn parses_cpus_from_baseline_json() {
+        assert_eq!(baseline_cpus("{\n  \"cpus\": 8,\n}"), Some(8));
+        assert_eq!(baseline_cpus("{\"cpus\":1}"), Some(1));
+        assert_eq!(baseline_cpus("{\"scale\": 0.25}"), None);
+        assert_eq!(baseline_cpus(""), None);
+    }
 }

@@ -96,12 +96,21 @@ impl Opts {
 /// are committed as the tracked baseline and uploaded by CI as build
 /// artifacts. `Opts::emit` still honors `--out` for ad-hoc copies.
 pub fn write_baseline(name: &str, content: &str) {
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join(name);
+    let path = baseline_path(name);
     std::fs::write(&path, content).expect("write baseline JSON at repo root");
     eprintln!("[baseline {}]", path.display());
 }
+
+/// Where [`write_baseline`] puts (and the committed tree keeps) a
+/// `BENCH_*.json` point — for benches that inspect the existing baseline
+/// before deciding whether to overwrite it.
+pub fn baseline_path(name: &str) -> PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name)
+}
+
+pub mod naive;
 
 /// A minimal wall-clock timing harness so `cargo bench` works with no
 /// external crates. Each benchmark runs one warm-up pass, then a fixed

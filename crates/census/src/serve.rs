@@ -397,8 +397,10 @@ impl Default for RestoreOutcome {
 /// or corrupt are skipped (and re-ingested from source later); a torn
 /// journal restores nothing.
 pub(crate) fn restore_state(fs: &dyn Vfs, state: &Path) -> RestoreOutcome {
-    let mut out = RestoreOutcome::default();
-    out.swept_tmp = sweep_stale_tmp(fs, state).unwrap_or(0);
+    let mut out = RestoreOutcome {
+        swept_tmp: sweep_stale_tmp(fs, state).unwrap_or(0),
+        ..RestoreOutcome::default()
+    };
     let journal_days = match load_journal(fs, &journal_path(state)) {
         Ok(days) => days,
         Err(_) => {
@@ -609,7 +611,9 @@ pub fn spawn(mut cfg: ServeConfig) -> Result<ServeHandle, ServeError> {
         .stale_tmp_removed
         .store(swept_tmp, Ordering::Relaxed);
     if swept_tmp > 0 {
-        shared.log(&format!("startup sweep removed {swept_tmp} stale tmp file(s)"));
+        shared.log(&format!(
+            "startup sweep removed {swept_tmp} stale tmp file(s)"
+        ));
     }
 
     let accept_shared = Arc::clone(&shared);
@@ -1272,7 +1276,10 @@ mod tests {
     fn journal_round_trips() {
         let dir = tempdir("journal");
         let d0 = Day::from_ymd(2015, 3, 17);
-        assert_eq!(load_journal(&RealFs, &journal_path(&dir)).unwrap(), Vec::new());
+        assert_eq!(
+            load_journal(&RealFs, &journal_path(&dir)).unwrap(),
+            Vec::new()
+        );
         write_journal(&RealFs, &dir, &[d0, d0 + 1, d0 + 2]).unwrap();
         assert_eq!(
             load_journal(&RealFs, &journal_path(&dir)).unwrap(),

@@ -757,7 +757,10 @@ impl SupervisedRun {
 
 /// Lists the day files under `dir` exactly as sequential
 /// [`StreamIngestor::ingest_dir`] would: day-named files, sorted by day.
-fn day_files(fs: &dyn v6census_core::vfs::Vfs, dir: &Path) -> Result<Vec<(Day, PathBuf)>, IngestError> {
+fn day_files(
+    fs: &dyn v6census_core::vfs::Vfs,
+    dir: &Path,
+) -> Result<Vec<(Day, PathBuf)>, IngestError> {
     let entries = fs.read_dir(dir).map_err(|e| IngestError::Io {
         path: dir.to_path_buf(),
         kind: e.kind(),

@@ -207,7 +207,10 @@ fn drill(kind: &str) {
             // Lying faults (shortwrite, fsynclie, renamedrop) report
             // success; the damage only shows after a restart.
             assert!(
-                report.files.iter().all(|f| f.errors.iter().all(|e| !e.label().is_empty())),
+                report
+                    .files
+                    .iter()
+                    .all(|f| f.errors.iter().all(|e| !e.label().is_empty())),
                 "{kind}: recorded errors must all be typed"
             );
         }
@@ -216,13 +219,13 @@ fn drill(kind: &str) {
             assert!(!e.to_string().is_empty(), "{kind}: abort must render");
         }
     }
-    assert!(
-        faulty.injected() >= 1,
-        "{kind}: the fault plan never fired"
-    );
+    assert!(faulty.injected() >= 1, "{kind}: the fault plan never fired");
     let journal_result = write_journal(faulty.as_ref(), &state, &days);
     if let Err(e) = &journal_result {
-        assert!(!e.to_string().is_empty(), "{kind}: journal abort must render");
+        assert!(
+            !e.to_string().is_empty(),
+            "{kind}: journal abort must render"
+        );
     }
 
     // Recovery: restart from the durable image with no faults. Torn

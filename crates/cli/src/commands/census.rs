@@ -24,13 +24,13 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
-use v6census_core::vfs::{FaultFs, FaultPlan};
 use v6census_census::stream::{DuplicatePolicy, ErrorMode, FileOutcome};
 use v6census_census::supervisor::{run_census, PipelineConfig, SupervisedRun, SupervisorConfig};
 use v6census_census::IngestConfig;
 use v6census_core::quality::Quality;
 use v6census_core::spatial::DensityClass;
 use v6census_core::temporal::{GapPolicy, StabilityParams, VerdictQuality};
+use v6census_core::vfs::{FaultFs, FaultPlan};
 use v6census_synth::AnalysisFaultPlan;
 
 /// Parses the `--gap-policy` flag.
@@ -86,8 +86,8 @@ pub fn install_fault_fs(
     match flags.get("fault-fs") {
         None => Ok(None),
         Some(spec) => {
-            let plan = FaultPlan::parse(spec)
-                .map_err(|e| err(format!("bad --fault-fs plan: {e}")))?;
+            let plan =
+                FaultPlan::parse(spec).map_err(|e| err(format!("bad --fault-fs plan: {e}")))?;
             let fault = Arc::new(FaultFs::new(Arc::clone(&cfg.vfs), plan));
             cfg.vfs = fault.clone();
             Ok(Some(fault))

@@ -57,7 +57,8 @@ impl DensityClass {
     pub fn dense_addresses(&self, set: &AddrSet) -> AddrSet {
         let dense = self.dense_prefixes(set);
         let mut di = dense.iter().peekable();
-        let mut out = Vec::new();
+        // At most every address is dense-contained.
+        let mut out = Vec::with_capacity(set.len());
         for a in set.iter() {
             while let Some(d) = di.peek() {
                 if d.prefix.last_addr() < a {

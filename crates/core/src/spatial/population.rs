@@ -63,8 +63,9 @@ impl Ccdf {
     /// The distinct step points `(x, proportion ≥ x)` of the CCDF, in
     /// ascending x — what the figures plot on log-log axes.
     pub fn steps(&self) -> Vec<(u64, f64)> {
-        let mut out = Vec::new();
         let n = self.sorted.len();
+        // One step per distinct sample value — never more than n.
+        let mut out = Vec::with_capacity(n);
         if n == 0 {
             return out;
         }

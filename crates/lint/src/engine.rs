@@ -121,8 +121,9 @@ pub fn lint_files(
     for rule in semantic_registry() {
         // R002 runs below through `dataflow::analyze` directly so the
         // proof sets are available for the L003/L006 discharge pass;
-        // R003/R004 share one `locks::analyze` pass, also below.
-        if matches!(rule.id(), "R002" | "R003" | "R004") {
+        // R003/R004 share one `locks::analyze` pass and R005/R006 one
+        // `allocs::analyze` pass, also below.
+        if matches!(rule.id(), "R002" | "R003" | "R004" | "R005" | "R006") {
             continue;
         }
         let mut out = Vec::new();
@@ -151,6 +152,19 @@ pub fn lint_files(
             .into_iter()
             .filter(|d| cfg.rule_applies("R004", &d.rel)),
     );
+
+    // Layer 2d: the allocation-effect pass — one shared analysis
+    // feeding both R005 (alloc-in-hot-loop) and R006
+    // (capacity-discipline). Both rules are additionally gated by the
+    // `[hot] paths` scope: the obligation is "the hot kernels stay
+    // allocation-free per item", not "nothing anywhere allocates".
+    let heap = crate::allocs::analyze(&ws, cfg);
+    all.extend(heap.hot_findings.into_iter().filter(|d| {
+        crate::allocs::hot_scope_applies(cfg, &d.rel) && cfg.rule_applies("R005", &d.rel)
+    }));
+    all.extend(heap.capacity_findings.into_iter().filter(|d| {
+        crate::allocs::hot_scope_applies(cfg, &d.rel) && cfg.rule_applies("R006", &d.rel)
+    }));
 
     // Layer 3: pragma application and severity mapping, per file.
     let mut by_rel: BTreeMap<&str, Vec<Diagnostic>> = BTreeMap::new();

@@ -11,7 +11,10 @@
 //! interval + unit abstract interpretation whose proofs discharge
 //! `L003`/`L006`'s syntactic findings), `R003` lock-order acyclicity
 //! and `R004` blocking-under-lock ([`locks`] + [`effects`], guard
-//! scopes and blocking effects lifted over the call graph) — and
+//! scopes and blocking effects lifted over the call graph), `R005`
+//! alloc-in-hot-loop and `R006` capacity-discipline ([`allocs`], a
+//! three-point allocation-effect lattice lifted over the call graph
+//! and checked against token-precise loop scopes) — and
 //! per-line `// lint: allow(<rule>, reason = "...")` suppression
 //! pragmas that are themselves machine-checked (`P000`, `P001`).
 //!
@@ -21,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod allocs;
 pub mod callgraph;
 pub mod config;
 pub mod dataflow;

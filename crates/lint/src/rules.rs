@@ -37,6 +37,12 @@
 //! | R004 | blocking-under-lock      | no path blocks (I/O, sleep, join, recv) |
 //! |      |                          | while a Mutex/RwLock guard is live      |
 //! |      |                          | (see [`crate::effects`])                |
+//! | R005 | alloc-in-hot-loop        | no per-call allocation inside a loop    |
+//! |      |                          | reachable from a `[hot]` entry point    |
+//! |      |                          | (see [`crate::allocs`])                 |
+//! | R006 | capacity-discipline      | a Vec/String grown in a loop shows a    |
+//! |      |                          | dominating reservation or is a `&mut`   |
+//! |      |                          | out-param (see [`crate::allocs`])       |
 //!
 //! Every rule is scoped by path prefixes from `lint.toml` and can be
 //! suppressed per line (or per file) with
@@ -108,6 +114,8 @@ pub fn semantic_registry() -> Vec<Box<dyn SemanticRule>> {
         Box::new(crate::dataflow::BitDomain),
         Box::new(crate::locks::LockOrder),
         Box::new(crate::effects::BlockingUnderLock),
+        Box::new(crate::allocs::AllocInHotLoop),
+        Box::new(crate::allocs::CapacityDiscipline),
     ]
 }
 

@@ -1,0 +1,24 @@
+//! R005 fixture: the hot entry's loop reaches a fresh allocation two
+//! call hops down — the witness chain must name the entry, the loop,
+//! both hops, and the concrete allocation site.
+
+/// Hot entry: iterates the window and calls the relay each step.
+pub fn hot(days: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for &d in days {
+        acc = acc.saturating_add(relay(d));
+    }
+    acc
+}
+
+/// First hop: allocation-free itself, but its callee is not.
+fn relay(d: u64) -> u64 {
+    leaf(d)
+}
+
+/// Second hop: a fresh `String` on every call.
+fn leaf(d: u64) -> u64 {
+    let mut s = String::new();
+    s.push('x');
+    (s.len() as u64) ^ d
+}

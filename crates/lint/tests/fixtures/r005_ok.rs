@@ -1,0 +1,29 @@
+//! R005 fixture: the hot loop reuses one buffer hoisted outside the
+//! loop — every call inside it is allocation-free per iteration.
+
+/// Hot entry: one reservation, `clear()`-reuse, no per-day allocation.
+pub fn hot(days: &[u64]) -> u64 {
+    let mut buf: Vec<u64> = Vec::with_capacity(days.len());
+    let mut acc = 0u64;
+    for &d in days {
+        buf.clear();
+        fill(d, &mut buf);
+        acc = acc.saturating_add(drain(&buf));
+    }
+    acc
+}
+
+/// Writes into the caller's buffer: amortized growth, reservation is
+/// the caller's job.
+fn fill(d: u64, out: &mut Vec<u64>) {
+    out.push(d);
+}
+
+/// Pure fold over the reused buffer.
+fn drain(buf: &[u64]) -> u64 {
+    let mut n = 0u64;
+    for &v in buf {
+        n = n.saturating_add(v);
+    }
+    n
+}

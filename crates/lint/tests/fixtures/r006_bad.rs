@@ -1,0 +1,11 @@
+//! R006 fixture: unreserved growth inside a loop — the vector
+//! reallocates O(log n) times as it fills.
+
+/// Collects doubled values with no reservation before the loop.
+pub fn doubled(xs: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for &x in xs {
+        out.push(x.saturating_mul(2));
+    }
+    out
+}

@@ -1,0 +1,19 @@
+//! R006 fixture: growth disciplined both sanctioned ways — a
+//! dominating `with_capacity` reservation, and a `&mut` out-param
+//! whose reservation is the caller's job.
+
+/// Reserves exactly once, then grows within the reservation.
+pub fn doubled(xs: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(xs.len());
+    for &x in xs {
+        out.push(x.saturating_mul(2));
+    }
+    out
+}
+
+/// Growth into a caller-owned buffer.
+pub fn doubled_into(xs: &[u64], out: &mut Vec<u64>) {
+    for &x in xs {
+        out.push(x.saturating_mul(2));
+    }
+}

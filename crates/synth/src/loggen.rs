@@ -99,12 +99,11 @@ impl World {
     ) -> io::Result<Vec<PathBuf>> {
         fs.create_dir_all(dir)?;
         let mut written = Vec::new();
-        let mut day = first;
-        for _ in 0..count {
+        for offset in 0..count {
+            let day = first + i32::try_from(offset).unwrap_or(i32::MAX);
             let path = dir.join(crate::faults::day_file_name(day));
             fs.write_atomic(&path, self.day_log(day).to_text().as_bytes())?;
             written.push(path);
-            day = day + 1;
         }
         Ok(written)
     }

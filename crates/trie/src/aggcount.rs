@@ -105,7 +105,8 @@ impl AggregateCounts {
 pub fn populations(set: &AddrSet, p: u8) -> Vec<u64> {
     assert!(p <= 128, "prefix length out of range");
     let keys = set.keys();
-    let mut out = Vec::new();
+    // One output entry per distinct /p block — never more than keys.
+    let mut out = Vec::with_capacity(keys.len());
     let Some(&first) = keys.first() else {
         return out;
     };
@@ -135,7 +136,8 @@ pub fn dense_prefixes_at(set: &AddrSet, n: u64, p: u8) -> Vec<DensePrefix> {
     assert!(p <= 128, "prefix length out of range");
     assert!(n >= 1, "density numerator must be at least 1");
     let keys = set.keys();
-    let mut out = Vec::new();
+    // One output entry per distinct /p block — never more than keys.
+    let mut out = Vec::with_capacity(keys.len());
     let Some(&first) = keys.first() else {
         return out;
     };

@@ -91,7 +91,7 @@ impl AddrSet {
 
     /// The intersection with `other` as a new set.
     pub fn intersection(&self, other: &AddrSet) -> AddrSet {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.keys.len().min(other.keys.len()));
         let (mut i, mut j) = (0usize, 0usize);
         let (a, b) = (&self.keys, &other.keys);
         while i < a.len() && j < b.len() {
@@ -150,7 +150,12 @@ impl AddrSet {
     /// address set into its active-/64 set (paper Table 1).
     pub fn map_prefix(&self, len: u8) -> AddrSet {
         if len >= 128 {
-            return self.clone();
+            // Reserved copy, not `.clone()`: `map_prefix` runs inside
+            // per-day loops (prefix_view, spectra), so its allocation
+            // effect must stay amortized for the R005 proof.
+            let mut out = Vec::with_capacity(self.keys.len());
+            out.extend_from_slice(&self.keys);
+            return AddrSet { keys: out };
         }
         let mut out: Vec<u128> = Vec::with_capacity(self.keys.len());
         let mask = high_mask(len);

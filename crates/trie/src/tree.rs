@@ -4,7 +4,7 @@
 //! longest-prefix-match map used for BGP routing tables.
 
 use std::fmt;
-use v6census_addr::cast::checked_u8;
+use v6census_addr::cast::{checked_u32, checked_u8, checked_usize};
 use v6census_addr::{Addr, Prefix};
 
 /// Structured failure of a trie structural operation.
@@ -112,28 +112,20 @@ pub struct BudgetedDensify {
     pub folded: usize,
 }
 
+/// Absent-child sentinel for arena handles. A `u32` handle caps the
+/// arena at `u32::MAX - 1` slots — hundreds of GiB of nodes, far beyond
+/// the node budgets the supervisor enforces.
+const NIL: u32 = u32::MAX;
+
+/// Arena-stored trie node: children are `u32` handles into the arena
+/// (`NIL` = absent) rather than boxed pointers, shrinking the node and
+/// keeping siblings cache-adjacent — the per-address descent touches
+/// one flat `Vec` instead of chasing heap pointers.
+#[derive(Clone, Copy)]
 struct Node {
     prefix: Prefix,
     count: u64,
-    children: [Option<Box<Node>>; 2],
-}
-
-impl Node {
-    fn leaf(prefix: Prefix, count: u64) -> Box<Node> {
-        Box::new(Node {
-            prefix,
-            count,
-            children: [None, None],
-        })
-    }
-
-    fn subtree_sum(&self) -> u64 {
-        let mut s = self.count;
-        for c in self.children.iter().flatten() {
-            s += c.subtree_sum();
-        }
-        s
-    }
+    children: [u32; 2],
 }
 
 /// A path-compressed binary radix (Patricia) trie keyed by IPv6 prefixes,
@@ -143,6 +135,13 @@ impl Node {
 /// created by path splitting carry count 0 until something is inserted at
 /// their prefix. [`RadixTree::densify`] and
 /// [`RadixTree::aguri_aggregate`] reason over *subtree* sums.
+///
+/// Nodes live in a slab arena (`Vec<Node>` plus a free list of reused
+/// slots) addressed by `u32` handles, so steady-state insertion and
+/// aggregation are allocation-free per address: inserts reuse freed
+/// slots before growing the arena, and every aggregation pass runs in
+/// scratch buffers retained across calls (the R005/R006 allocation
+/// discipline, proven by `v6census-lint`).
 ///
 /// ```
 /// use v6census_trie::RadixTree;
@@ -154,11 +153,34 @@ impl Node {
 /// assert_eq!(dense.len(), 1);
 /// assert_eq!(dense[0].prefix.to_string(), "2001:db8::/112");
 /// ```
-#[derive(Default)]
 pub struct RadixTree {
-    root: Option<Box<Node>>,
+    arena: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
     total: u64,
     nodes: usize,
+    // Scratch buffers reused across aggregation passes so the hot
+    // capped-insert path never allocates per call once warm.
+    scratch_order: Vec<(u32, u32)>,
+    scratch_counts: Vec<u64>,
+    scratch_sums: Vec<u64>,
+    scratch_stack: Vec<u32>,
+}
+
+impl Default for RadixTree {
+    fn default() -> RadixTree {
+        RadixTree {
+            arena: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            total: 0,
+            nodes: 0,
+            scratch_order: Vec::new(),
+            scratch_counts: Vec::new(),
+            scratch_sums: Vec::new(),
+            scratch_stack: Vec::new(),
+        }
+    }
 }
 
 impl RadixTree {
@@ -178,12 +200,135 @@ impl RadixTree {
         self.nodes
     }
 
-    /// Estimated heap footprint: node count × per-node allocation size.
-    /// Ignores allocator slack, so treat it as a lower bound; the
-    /// supervisor's budgets are expressed in nodes and use this only for
-    /// reporting.
+    /// Estimated heap footprint: node count × per-node arena slot size.
+    /// Ignores allocator slack and vacant free-list slots, so treat it
+    /// as a lower bound; the supervisor's budgets are expressed in nodes
+    /// and use this only for reporting.
     pub fn approx_bytes(&self) -> usize {
         self.nodes * std::mem::size_of::<Node>()
+    }
+
+    /// Widens an arena handle to a slot offset — lossless on every
+    /// supported target; the R002 dataflow proves the bound.
+    #[inline]
+    fn at(h: u32) -> usize {
+        checked_usize(h as u128)
+    }
+
+    #[inline]
+    fn node(&self, h: u32) -> &Node {
+        &self.arena[Self::at(h)]
+    }
+
+    #[inline]
+    fn node_mut(&mut self, h: u32) -> &mut Node {
+        &mut self.arena[Self::at(h)]
+    }
+
+    /// Allocates an arena slot — reusing a freed slot when one exists,
+    /// growing the arena otherwise — and returns its handle.
+    fn alloc_node(&mut self, prefix: Prefix, count: u64) -> u32 {
+        let fresh = Node {
+            prefix,
+            count,
+            children: [NIL, NIL],
+        };
+        self.nodes += 1;
+        if let Some(h) = self.free.pop() {
+            self.arena[Self::at(h)] = fresh;
+            return h;
+        }
+        // Mask-then-check is the sanctioned narrowing idiom (cast.rs);
+        // an arena of u32::MAX slots is unreachable under the node
+        // budgets, and checked_u32 debug_asserts the bound.
+        let h = checked_u32((self.arena.len() as u128) & 0xffff_ffff);
+        self.arena.push(fresh);
+        h
+    }
+
+    /// Returns a slot to the free list.
+    fn free_node(&mut self, h: u32) {
+        self.free.push(h);
+        self.nodes -= 1;
+    }
+
+    /// Writes `child` into the slot identified by `(parent, which)`;
+    /// a NIL parent addresses the root slot.
+    fn set_slot(&mut self, parent: u32, which: usize, child: u32) {
+        if parent == NIL {
+            self.root = child;
+        } else {
+            self.node_mut(parent).children[which] = child;
+        }
+    }
+
+    /// Replaces `child` with `replacement` wherever it appears among
+    /// `parent`'s child slots (the root slot when `parent` is NIL).
+    fn replace_child(&mut self, parent: u32, child: u32, replacement: u32) {
+        if parent == NIL {
+            self.root = replacement;
+            return;
+        }
+        for slot in self.node_mut(parent).children.iter_mut() {
+            if *slot == child {
+                *slot = replacement;
+            }
+        }
+    }
+
+    /// Frees the whole subtree rooted at `from`, returning every slot
+    /// to the free list. Runs in the reused traversal scratch.
+    fn free_subtree(&mut self, from: u32) {
+        let mut work = std::mem::take(&mut self.scratch_stack);
+        work.clear();
+        work.push(from);
+        while let Some(h) = work.pop() {
+            for &c in &self.node(h).children {
+                if c != NIL {
+                    work.push(c);
+                }
+            }
+            self.free_node(h);
+        }
+        self.scratch_stack = work;
+    }
+
+    /// Appends the live nodes in BFS order as `(handle, parent)` pairs
+    /// — parents strictly before children, so a reverse scan visits
+    /// children first (the bottom-up order every aggregate pass needs).
+    fn bfs_order_into(&self, order: &mut Vec<(u32, u32)>) {
+        order.clear();
+        if self.root != NIL {
+            order.push((self.root, NIL));
+        }
+        let mut i = 0usize;
+        while i < order.len() {
+            let (h, _) = order[i];
+            for &c in &self.node(h).children {
+                if c != NIL {
+                    order.push((c, h));
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// One bottom-up pass computing every node's subtree sum into
+    /// `sums` (indexed by arena slot) — memoizing what the boxed
+    /// representation recomputed recursively per visited node.
+    fn subtree_sums_from(&self, order: &[(u32, u32)], sums: &mut Vec<u64>) {
+        sums.clear();
+        sums.resize(self.arena.len(), 0);
+        for &(h, _) in order.iter().rev() {
+            let node = self.node(h);
+            let mut s = node.count;
+            for &c in &node.children {
+                if c != NIL {
+                    s = s.saturating_add(sums[Self::at(c)]);
+                }
+            }
+            sums[Self::at(h)] = s;
+        }
     }
 
     /// Inserts a host address and, when the tree has grown past
@@ -221,16 +366,16 @@ impl RadixTree {
             debug_assert!(false, "insert({p}, {count}): {e}");
             // Recovery without data loss: account the count at ::/0.
             self.total = self.total.saturating_add(count);
-            if let Some(root) = &mut self.root {
-                if root.prefix == Prefix::ALL {
-                    root.count = root.count.saturating_add(count);
-                    return;
-                }
+            if self.root != NIL && self.node(self.root).prefix == Prefix::ALL {
+                let root = self.root;
+                let node = self.node_mut(root);
+                node.count = node.count.saturating_add(count);
+                return;
             }
-            let mut fresh = Node::leaf(Prefix::ALL, count);
-            fresh.children = [self.root.take(), None];
-            self.root = Some(fresh);
-            self.nodes += 1;
+            let old_root = self.root;
+            let fresh = self.alloc_node(Prefix::ALL, count);
+            self.node_mut(fresh).children = [old_root, NIL];
+            self.root = fresh;
         }
     }
 
@@ -238,117 +383,98 @@ impl RadixTree {
     /// panicking on) a broken structural invariant — the entry point for
     /// trees built from untrusted serialized data.
     pub fn try_insert(&mut self, p: Prefix, count: u64) -> Result<(), TrieError> {
-        let mut created = 0usize;
-        let result = Self::insert_into(&mut self.root, p, count, &mut created, 0);
-        // Created nodes stay in the tree even on an error path; account
-        // them either way so `node_count` never drifts from reality.
-        self.nodes += created;
-        result?;
-        self.total = self.total.saturating_add(count);
-        Ok(())
-    }
-
-    fn insert_into(
-        slot: &mut Option<Box<Node>>,
-        p: Prefix,
-        count: u64,
-        created: &mut usize,
-        depth: u16,
-    ) -> Result<(), TrieError> {
-        if depth > MAX_DEPTH {
-            return Err(TrieError::DepthExceeded { prefix: p });
-        }
-        let node = match slot {
-            None => {
-                *slot = Some(Node::leaf(p, count));
-                *created += 1;
-                return Ok(());
+        // Iterative descent. The slot being considered is identified by
+        // `(parent handle, child index)`, with a NIL parent meaning the
+        // root slot. Every error check runs before any slot is written,
+        // so a failed insert leaves the tree untouched.
+        let mut parent = NIL;
+        let mut which = 0usize;
+        let mut depth: u16 = 0;
+        loop {
+            if depth > MAX_DEPTH {
+                return Err(TrieError::DepthExceeded { prefix: p });
             }
-            Some(n) => n,
-        };
-
-        if node.prefix == p {
-            node.count = node.count.saturating_add(count);
-            return Ok(());
+            let cur = if parent == NIL {
+                self.root
+            } else {
+                self.node(parent).children[which]
+            };
+            if cur == NIL {
+                let leaf = self.alloc_node(p, count);
+                self.set_slot(parent, which, leaf);
+                break;
+            }
+            let node_prefix = self.node(cur).prefix;
+            if node_prefix == p {
+                let node = self.node_mut(cur);
+                node.count = node.count.saturating_add(count);
+                break;
+            }
+            if node_prefix.contains(p) {
+                // Descend: branch on the first bit of p beyond node's
+                // prefix.
+                parent = cur;
+                which = usize::from(p.addr().bit(usize::from(node_prefix.len())));
+                depth = depth.saturating_add(1);
+                continue;
+            }
+            if p.contains(node_prefix) {
+                // p is an ancestor of the current node: splice a new
+                // node in above it.
+                let bit = usize::from(node_prefix.addr().bit(usize::from(p.len())));
+                let new_node = self.alloc_node(p, count);
+                self.node_mut(new_node).children[bit] = cur;
+                self.set_slot(parent, which, new_node);
+                break;
+            }
+            // Divergence: create a branch node at the longest common
+            // prefix. Equality and containment in both directions were
+            // excluded above, so cpl is strictly shorter than both keys
+            // and — keys being canonical — the next bit of each differs.
+            let cpl = p
+                .addr()
+                .common_prefix_len(node_prefix.addr())
+                .min(p.len())
+                .min(node_prefix.len());
+            let branch_prefix = Prefix::new(p.addr(), cpl);
+            let old_bit = usize::from(node_prefix.addr().bit(usize::from(cpl)));
+            let new_bit = usize::from(p.addr().bit(usize::from(cpl)));
+            debug_assert_ne!(old_bit, new_bit, "divergence must separate the keys");
+            if old_bit == new_bit {
+                // Release-build recovery: installing both subtrees on
+                // one side would drop the old one silently. Nothing has
+                // been written yet, so reporting is side-effect free.
+                return Err(TrieError::StructureCorrupt {
+                    prefix: node_prefix,
+                    site: "insert/divergence",
+                });
+            }
+            let branch = self.alloc_node(branch_prefix, 0);
+            let leaf = self.alloc_node(p, count);
+            {
+                let b = self.node_mut(branch);
+                b.children[old_bit] = cur;
+                b.children[new_bit] = leaf;
+            }
+            self.set_slot(parent, which, branch);
+            break;
         }
-
-        if node.prefix.contains(p) {
-            // Descend: branch on the first bit of p beyond node's prefix.
-            let bit = usize::from(p.addr().bit(usize::from(node.prefix.len())));
-            return Self::insert_into(
-                &mut node.children[bit],
-                p,
-                count,
-                created,
-                depth.saturating_add(1),
-            );
-        }
-
-        // Below here the node at `slot` is replaced; take it by value.
-        // The match above proved the slot occupied and no code path has
-        // emptied it since, so `take()` observing `None` means the tree
-        // disagrees with itself.
-        let Some(old) = slot.take() else {
-            debug_assert!(false, "occupied slot empty during restructure");
-            return Err(TrieError::StructureCorrupt {
-                prefix: p,
-                site: "insert/restructure",
-            });
-        };
-
-        if p.contains(old.prefix) {
-            // p is an ancestor of the current node: splice a new node in.
-            let bit = usize::from(old.prefix.addr().bit(usize::from(p.len())));
-            let mut new_node = Node::leaf(p, count);
-            new_node.children[bit] = Some(old);
-            *slot = Some(new_node);
-            *created += 1;
-            return Ok(());
-        }
-
-        // Divergence: create a branch node at the longest common prefix.
-        // Equality and containment in both directions were excluded
-        // above, so cpl is strictly shorter than both keys and — keys
-        // being canonical — the next bit of each differs.
-        let cpl = p
-            .addr()
-            .common_prefix_len(old.prefix.addr())
-            .min(p.len())
-            .min(old.prefix.len());
-        let branch_prefix = Prefix::new(p.addr(), cpl);
-        let old_bit = usize::from(old.prefix.addr().bit(usize::from(cpl)));
-        let new_bit = usize::from(p.addr().bit(usize::from(cpl)));
-        debug_assert_ne!(old_bit, new_bit, "divergence must separate the keys");
-        if old_bit == new_bit {
-            // Release-build recovery: installing both subtrees on one
-            // side would drop `old` silently. Restore and report.
-            let prefix_err = old.prefix;
-            *slot = Some(old);
-            return Err(TrieError::StructureCorrupt {
-                prefix: prefix_err,
-                site: "insert/divergence",
-            });
-        }
-        let mut branch = Node::leaf(branch_prefix, 0);
-        branch.children[old_bit] = Some(old);
-        branch.children[new_bit] = Some(Node::leaf(p, count));
-        *slot = Some(branch);
-        *created += 2;
+        self.total = self.total.saturating_add(count);
         Ok(())
     }
 
     /// The count stored at exactly this prefix (0 when absent).
     pub fn get(&self, p: Prefix) -> u64 {
-        let mut cur = &self.root;
-        while let Some(node) = cur {
+        let mut cur = self.root;
+        while cur != NIL {
+            let node = self.node(cur);
             if node.prefix == p {
                 return node.count;
             }
             if !node.prefix.contains(p) {
                 return 0;
             }
-            let bit = usize::from(p.addr().bit(usize::from(node.prefix.len())));
-            cur = &node.children[bit];
+            cur = node.children[usize::from(p.addr().bit(usize::from(node.prefix.len())))];
         }
         0
     }
@@ -356,18 +482,24 @@ impl RadixTree {
     /// In-order list of `(prefix, count)` for every node with a non-zero
     /// count.
     pub fn entries(&self) -> Vec<(Prefix, u64)> {
-        let mut out = Vec::new();
-        fn walk(n: &Option<Box<Node>>, out: &mut Vec<(Prefix, u64)>) {
-            if let Some(node) = n {
-                if node.count > 0 {
-                    out.push((node.prefix, node.count));
+        let mut out: Vec<(Prefix, u64)> = Vec::with_capacity(self.nodes);
+        let mut stack: Vec<u32> = Vec::with_capacity(self.nodes);
+        if self.root != NIL {
+            stack.push(self.root);
+        }
+        while let Some(h) = stack.pop() {
+            let node = self.node(h);
+            if node.count > 0 {
+                out.push((node.prefix, node.count));
+            }
+            // Child 1 pushed first so child 0 pops first, preserving
+            // the recursive representation's address order.
+            for &c in node.children.iter().rev() {
+                if c != NIL {
+                    stack.push(c);
                 }
-                let [c0, c1] = &node.children;
-                walk(c0, out);
-                walk(c1, out);
             }
         }
-        walk(&self.root, &mut out);
         out
     }
 
@@ -375,22 +507,40 @@ impl RadixTree {
     /// addresses inside block `p` when the tree was built with
     /// [`RadixTree::insert_addr`].
     pub fn count_within(&self, p: Prefix) -> u64 {
-        let mut cur = &self.root;
-        while let Some(node) = cur {
+        let mut cur = self.root;
+        while cur != NIL {
+            let node = self.node(cur);
             if p.contains(node.prefix) {
-                return node.subtree_sum();
+                return self.sum_below(cur);
             }
             if !node.prefix.contains(p) {
                 return 0;
             }
-            // p is strictly inside node's block; node.count belongs to the
-            // shorter node.prefix, so only the matching child can intersect.
-            let bit = usize::from(p.addr().bit(usize::from(node.prefix.len())));
-            // node's own count sits at node.prefix which is outside p
-            // (shorter), so only the matching child subtree can intersect.
-            cur = &node.children[bit];
+            // p is strictly inside node's block; node.count belongs to
+            // the shorter node.prefix, so only the matching child
+            // subtree can intersect.
+            cur = node.children[usize::from(p.addr().bit(usize::from(node.prefix.len())))];
         }
         0
+    }
+
+    /// Sum of counts in the subtree rooted at `from` (iterative).
+    fn sum_below(&self, from: u32) -> u64 {
+        let mut work: Vec<u32> = Vec::with_capacity(32);
+        work.push(from);
+        let mut s = 0u64;
+        let mut i = 0usize;
+        while i < work.len() {
+            let node = self.node(work[i]);
+            s = s.saturating_add(node.count);
+            for &c in &node.children {
+                if c != NIL {
+                    work.push(c);
+                }
+            }
+            i += 1;
+        }
+        s
     }
 
     /// The paper's **densify** operation (§5.2.3), generalized to report
@@ -400,23 +550,34 @@ impl RadixTree {
     ///
     /// Works on conceptual prefixes along compressed edges, so a dense
     /// /112 is found even when path compression skips from a /48 branch
-    /// to a /120 branch.
+    /// to a /120 branch. Subtree sums are memoized in one bottom-up pass
+    /// so the walk is linear in the node count, and subtrees whose sum
+    /// is below the count floor are pruned (nothing below them can
+    /// qualify).
     pub fn densify(&self, n: u64, p: u8) -> Vec<DensePrefix> {
         assert!(n >= 1, "density numerator must be at least 1");
         assert!(p <= 128, "density prefix length out of range");
-        let mut out = Vec::new();
-        if let Some(root) = &self.root {
-            Self::densify_walk(root, 0, n, p, &mut out);
-        }
-        out.sort();
-        out
-    }
+        let mut order: Vec<(u32, u32)> = Vec::with_capacity(self.nodes);
+        self.bfs_order_into(&mut order);
+        let mut sums: Vec<u64> = Vec::with_capacity(self.arena.len());
+        self.subtree_sums_from(&order, &mut sums);
 
-    /// Walks the tree; `lo` is the shortest conceptual prefix length
-    /// available on the edge into `node` (parent length + 1; 0 at root).
-    fn densify_walk(node: &Node, lo: u8, n: u64, p: u8, out: &mut Vec<DensePrefix>) {
-        let s = node.subtree_sum();
-        if s >= n {
+        let mut out: Vec<DensePrefix> = Vec::with_capacity(16);
+        // DFS over (handle, lo) where lo is the shortest conceptual
+        // prefix length available on the edge into the node (parent
+        // length + 1; 0 at the root).
+        let mut stack: Vec<(u32, u8)> = Vec::with_capacity(64);
+        if self.root != NIL {
+            stack.push((self.root, 0));
+        }
+        while let Some((h, lo)) = stack.pop() {
+            let s = sums[Self::at(h)];
+            if s < n {
+                // Subtree sums only shrink downward: nothing below this
+                // node can reach the count floor.
+                continue;
+            }
+            let node = self.node(h);
             // Minimal length at which s addresses meet density n/2^(128-p):
             //   s >= n * 2^(p - L)  <=>  L >= p - floor(log2(s / n))
             let k_max = 63u32.saturating_sub((s / n).leading_zeros()); // floor(log2(s/n)) for s/n >= 1
@@ -428,12 +589,16 @@ impl RadixTree {
                     prefix: Prefix::new(node.prefix.addr(), at),
                     count: s,
                 });
-                return; // least-specific: don't report anything deeper
+                continue; // least-specific: don't report anything deeper
+            }
+            for &c in &node.children {
+                if c != NIL {
+                    stack.push((c, node.prefix.len().saturating_add(1)));
+                }
             }
         }
-        for child in node.children.iter().flatten() {
-            Self::densify_walk(child, node.prefix.len() + 1, n, p, out);
-        }
+        out.sort();
+        out
     }
 
     /// The in-place aguri-style densify described verbatim in §5.2.3
@@ -466,16 +631,22 @@ impl RadixTree {
             }
         }
 
-        fn walk(node: &mut Node, n: u64, p: u8, removed: &mut usize) {
-            for child in node.children.iter_mut().flatten() {
-                walk(child, n, p, removed);
+        let mut order: Vec<(u32, u32)> = Vec::with_capacity(self.nodes);
+        self.bfs_order_into(&mut order);
+        let mut sums: Vec<u64> = Vec::with_capacity(self.arena.len());
+        self.subtree_sums_from(&order, &mut sums);
+
+        // Children before parents; aggregation conserves subtree sums,
+        // so the memoized values stay valid as the walk folds subtrees
+        // below each node.
+        for &(h, _) in order.iter().rev() {
+            let node = *self.node(h);
+            let mut child_sum = 0u64;
+            for &c in &node.children {
+                if c != NIL {
+                    child_sum = child_sum.saturating_add(sums[Self::at(c)]);
+                }
             }
-            let child_sum: u64 = node
-                .children
-                .iter()
-                .flatten()
-                .map(|c| c.subtree_sum())
-                .sum();
             if child_sum > 0
                 && dense(
                     node.count.saturating_add(child_sum),
@@ -484,29 +655,15 @@ impl RadixTree {
                     p,
                 )
             {
-                node.count = node.count.saturating_add(child_sum);
-                for slot in node.children.iter_mut() {
-                    if let Some(c) = slot.take() {
-                        *removed += count_nodes(&c);
+                self.node_mut(h).count = node.count.saturating_add(child_sum);
+                self.node_mut(h).children = [NIL, NIL];
+                for &c in &node.children {
+                    if c != NIL {
+                        self.free_subtree(c);
                     }
                 }
             }
         }
-
-        fn count_nodes(node: &Node) -> usize {
-            1 + node
-                .children
-                .iter()
-                .flatten()
-                .map(|c| count_nodes(c))
-                .sum::<usize>()
-        }
-
-        let mut removed = 0usize;
-        if let Some(root) = &mut self.root {
-            walk(root, n, p, &mut removed);
-        }
-        self.nodes -= removed;
         let mut out: Vec<DensePrefix> = self
             .entries()
             .into_iter()
@@ -528,76 +685,93 @@ impl RadixTree {
     /// periodically so an adversarial or ephemeral-heavy address stream
     /// (billions of privacy addresses) cannot exhaust memory — the
     /// paper's "informing data retention policy to prevent resource
-    /// exhaustion" application (§1).
+    /// exhaustion" application (§1). Each pass runs entirely in scratch
+    /// buffers retained across calls, so the steady-state capped-insert
+    /// path allocates nothing once warm.
     pub fn aggregate_to_size(&mut self, max_nodes: usize) -> usize {
         let start = self.nodes;
         while self.nodes > max_nodes.max(1) {
-            // One bottom-up pass folding the smallest quartile of leaf
-            // counts; repeat until within budget.
-            let mut leaf_counts: Vec<u64> = Vec::new();
-            fn collect(n: &Node, out: &mut Vec<u64>) {
-                let mut is_leaf = true;
-                for c in n.children.iter().flatten() {
-                    is_leaf = false;
-                    collect(c, out);
-                }
-                if is_leaf {
-                    out.push(n.count);
-                }
-            }
-            if let Some(root) = &self.root {
-                collect(root, &mut leaf_counts);
-            } else {
+            if self.root == NIL {
                 break;
             }
-            leaf_counts.sort_unstable();
-            let cutoff_idx = (leaf_counts.len() / 4).max(1).min(leaf_counts.len() - 1);
-            let cutoff = leaf_counts[cutoff_idx];
+            // One bottom-up pass folding the smallest quartile of leaf
+            // counts; repeat until within budget.
+            let mut order = std::mem::take(&mut self.scratch_order);
+            let mut counts = std::mem::take(&mut self.scratch_counts);
+            self.bfs_order_into(&mut order);
+            counts.clear();
+            for &(h, _) in &order {
+                let node = self.node(h);
+                if node.children.iter().all(|&c| c == NIL) {
+                    counts.push(node.count);
+                }
+            }
+            counts.sort_unstable();
+            let cutoff_idx = (counts.len() / 4).max(1).min(counts.len() - 1);
+            let cutoff = counts[cutoff_idx];
 
-            // Fold leaves with count <= cutoff into their parents; then
-            // splice out pass-through branch nodes left behind.
-            fn fold(slot: &mut Option<Box<Node>>, cutoff: u64, removed: &mut usize) -> u64 {
-                // Returns count folded up to the caller.
-                let Some(node) = slot else { return 0 };
-                let mut absorbed = 0u64;
-                for child in node.children.iter_mut() {
-                    absorbed = absorbed.saturating_add(fold(child, cutoff, removed));
+            // Fold leaves with count <= cutoff into their parents, then
+            // splice out pass-through branch nodes left behind. The
+            // reverse scan visits children before parents, so folds
+            // cascade upward within a single pass exactly like the
+            // recursive post-order this replaces.
+            let mut absorbed = std::mem::take(&mut self.scratch_sums);
+            absorbed.clear();
+            absorbed.resize(self.arena.len(), 0);
+            let mut removed = 0usize;
+            let mut folded_to_root = 0u64;
+            for &(h, parent) in order.iter().rev() {
+                let gained = absorbed[Self::at(h)];
+                if gained > 0 {
+                    let node = self.node_mut(h);
+                    node.count = node.count.saturating_add(gained);
                 }
-                node.count = node.count.saturating_add(absorbed);
-                let is_leaf = node.children.iter().all(|c| c.is_none());
+                let node = *self.node(h);
+                let is_leaf = node.children.iter().all(|&c| c == NIL);
                 if is_leaf && node.count <= cutoff && !node.prefix.is_empty() {
-                    let count = node.count;
-                    *slot = None;
-                    *removed += 1;
-                    return count;
+                    if parent == NIL {
+                        folded_to_root = node.count;
+                        self.root = NIL;
+                    } else {
+                        absorbed[Self::at(parent)] =
+                            absorbed[Self::at(parent)].saturating_add(node.count);
+                        self.replace_child(parent, h, NIL);
+                    }
+                    self.free_node(h);
+                    removed += 1;
+                    continue;
                 }
-                // Splice pass-through nodes (count 0, single child).
                 if node.count == 0 {
-                    let kids: Vec<usize> = (0..2).filter(|&i| node.children[i].is_some()).collect();
-                    if let [only_idx] = kids[..] {
-                        // The filter above proved this child occupied; the
-                        // `if let` makes a (impossible) miss a no-op splice
-                        // rather than a panic.
-                        if let Some(only) = node.children[only_idx].take() {
-                            *slot = Some(only);
-                            *removed += 1;
+                    // Splice pass-through nodes (count 0, single child).
+                    let mut only = NIL;
+                    let mut occupied = 0usize;
+                    for &c in &node.children {
+                        if c != NIL {
+                            only = c;
+                            occupied += 1;
                         }
                     }
+                    if occupied == 1 {
+                        self.replace_child(parent, h, only);
+                        self.free_node(h);
+                        removed += 1;
+                    }
                 }
-                0
             }
-            let mut removed = 0usize;
-            let folded_to_root = fold(&mut self.root, cutoff, &mut removed);
+            self.scratch_order = order;
+            self.scratch_counts = counts;
+            self.scratch_sums = absorbed;
+
             if folded_to_root > 0 {
                 // Everything collapsed; reinstate a ::/0 accumulator.
-                self.root = Some(Node::leaf(Prefix::ALL, folded_to_root));
-                self.nodes = 1;
+                debug_assert_eq!(self.nodes, 0, "root folded with live nodes");
+                let fresh = self.alloc_node(Prefix::ALL, folded_to_root);
+                self.root = fresh;
                 break;
             }
             if removed == 0 {
                 break; // cannot shrink further without losing the total
             }
-            self.nodes -= removed;
         }
         start - self.nodes
     }
@@ -640,25 +814,36 @@ impl RadixTree {
         );
         let threshold = (threshold_fraction * self.total as f64).ceil() as u64;
 
-        // Returns the count that could not be attributed to a kept
-        // aggregate in this subtree (flows to the caller).
-        fn walk(node: &Node, threshold: u64, out: &mut Vec<(Prefix, u64)>) -> u64 {
-            let mut residual = node.count;
-            for child in node.children.iter().flatten() {
-                residual += walk(child, threshold, out);
+        let mut order: Vec<(u32, u32)> = Vec::with_capacity(self.nodes);
+        self.bfs_order_into(&mut order);
+        // residual[slot]: count in the subtree not yet attributed to a
+        // kept aggregate (flows to the parent).
+        // Not `vec![0; …]`: the reserve-then-resize spelling keeps this
+        // fn on the amortized point of R005's allocation lattice.
+        #[allow(clippy::slow_vector_initialization)]
+        let mut residual: Vec<u64> = {
+            let mut v = Vec::with_capacity(self.arena.len());
+            v.resize(self.arena.len(), 0);
+            v
+        };
+        let mut out: Vec<(Prefix, u64)> = Vec::with_capacity(16);
+        for &(h, _) in order.iter().rev() {
+            let node = self.node(h);
+            let mut r = node.count;
+            for &c in &node.children {
+                if c != NIL {
+                    r = r.saturating_add(residual[Self::at(c)]);
+                }
             }
-            if residual >= threshold && threshold > 0 {
-                out.push((node.prefix, residual));
-                0
+            if r >= threshold && threshold > 0 {
+                out.push((node.prefix, r));
             } else {
-                residual
+                residual[Self::at(h)] = r;
             }
         }
-
-        let mut out = Vec::new();
-        let mut leftover = 0;
-        if let Some(root) = &self.root {
-            leftover = walk(root, threshold, &mut out);
+        let mut leftover = 0u64;
+        if self.root != NIL {
+            leftover = residual[Self::at(self.root)];
         }
         if leftover > 0 {
             out.push((Prefix::ALL, leftover));
